@@ -1,0 +1,33 @@
+//! Run the full experiment suite and print every series — the numbers
+//! recorded in EXPERIMENTS.md. Usage:
+//!
+//! ```text
+//! cargo run --release -p ys-bench --bin report            # all experiments
+//! cargo run --release -p ys-bench --bin report -- E1 E7   # a subset
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    let mut sections = ys_bench::experiments::all_filtered(&filter);
+    if filter.is_empty() || filter.iter().any(|f| f.starts_with('A')) {
+        let abl = ys_bench::ablations::all();
+        sections.extend(abl.into_iter().filter(|(name, _)| {
+            filter.is_empty() || filter.iter().any(|f| name.starts_with(f.as_str()))
+        }));
+    }
+    for (name, series_list) in sections {
+        writeln!(out, "================================================================").unwrap();
+        writeln!(out, "{name}").unwrap();
+        writeln!(out, "================================================================").unwrap();
+        for s in series_list {
+            write!(out, "{}", s.render("x", "y")).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(out, "(suite completed in {:.1?})", started.elapsed()).unwrap();
+}

@@ -1,0 +1,30 @@
+//! Scenario-file simulator: run a JSON-described cluster + workload + fault
+//! schedule and print the outcome as JSON.
+//!
+//! ```text
+//! cargo run --release -p ys-bench --bin simulate -- scenario.json
+//! echo '{"blades":8,"pattern":"zipf"}' | cargo run --release -p ys-bench --bin simulate
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first() {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+    };
+    let spec: ys_bench::spec::SimSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bad scenario spec: {e}");
+        std::process::exit(2);
+    });
+    let outcome = spec.run();
+    println!("{}", serde_json::to_string_pretty(&outcome).expect("serialize outcome"));
+}

@@ -1,0 +1,742 @@
+//! The experiment suite: one function per figure/claim in the paper, each
+//! returning the labelled series the report binary prints and
+//! EXPERIMENTS.md records.
+//!
+//! Every experiment is deterministic: `(config, seed)` fully determines the
+//! output. Sizes are chosen so the whole suite runs in seconds of wall
+//! time while exercising thousands-to-millions of simulated operations.
+
+use crate::driver::closed_loop;
+use ys_cache::Retention;
+use ys_core::{
+    deliver_stream, run_service, BladeCluster, ClusterConfig, EncryptionConfig, FastPathConfig, LegacyArray,
+    LegacyConfig, LoadBalance, NetStorage, NetStorageConfig, Rebuilder, ServiceJob,
+};
+use ys_geo::{SiteId, SiteTopology};
+use ys_pfs::{FilePolicy, GeoMode, GeoPolicy};
+use ys_proto::Workload;
+use ys_security::{InitiatorId, LunMask};
+use ys_simcore::stats::Series;
+use ys_simcore::time::{SimDuration, SimTime};
+use ys_simdisk::DiskId;
+use ys_simnet::catalog;
+use ys_virt::{PhysicalPool, VolumeKind, VolumeManager};
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// E1 / Figure 1 — single-stream rate vs striping blade count.
+///
+/// Paper claim: 4 blades × 2 × 2 Gb/s FC feed a ~10 Gb/s stream through a
+/// common PCI-X bus and 10 GbE port.
+pub fn e1_striping() -> Vec<Series> {
+    let mut rate = Series::new("E1 stream rate (Gb/s) vs blades");
+    let mut bus = Series::new("E1 PCI-X bus utilization vs blades");
+    for blades in 1..=8usize {
+        let cfg = FastPathConfig { blades, ..FastPathConfig::default() };
+        let r = deliver_stream(&cfg, GB);
+        rate.push(blades as f64, r.gbit_per_sec);
+        bus.push(blades as f64, r.bus_utilization);
+    }
+    vec![rate, bus]
+}
+
+/// E2 / Figure 2 — the secure multi-tenant pool: LUN-mask isolation plus
+/// the throughput cost of each optional security layer.
+pub fn e2_secure_pool() -> Vec<Series> {
+    // Isolation: two tenants on one pool; cross-tenant access must fail.
+    let mut mask = LunMask::new();
+    let (alice, bob) = (InitiatorId(1), InitiatorId(2));
+    mask.grant(alice, ys_virt::VolumeId(0));
+    mask.grant(bob, ys_virt::VolumeId(1));
+    let mut isolation = Series::new("E2 cross-tenant accesses denied (of 100 attempts)");
+    let denied = (0..100)
+        .filter(|i| {
+            let initiator = if i % 2 == 0 { alice } else { bob };
+            let target = ys_virt::VolumeId(1 - (i % 2) as u32); // the OTHER tenant's volume
+            mask.check_access(initiator, target).is_err()
+        })
+        .count();
+    isolation.push(100.0, denied as f64);
+
+    // Throughput under security layers: multi-tenant 64 KiB mixed I/O.
+    let mut tput = Series::new("E2 throughput (MB/s): 0=off 1=mask+auth 2=at-rest(hw) 3=full(hw) 4=full(sw)");
+    let configs = [
+        EncryptionConfig::off(),
+        EncryptionConfig::off(), // mask+auth cost is control-path only
+        EncryptionConfig { at_rest: true, in_transit: false, hardware_assist: true },
+        EncryptionConfig::full_hw(),
+        EncryptionConfig::full_sw(),
+    ];
+    for (i, enc) in configs.iter().enumerate() {
+        let mut c = BladeCluster::new(
+            ClusterConfig::default().with_blades(4).with_disks(16).with_clients(8).with_encryption(*enc),
+        );
+        let v0 = c.create_volume("alice", 1, 4 * GB).unwrap();
+        let v1 = c.create_volume("bob", 2, 4 * GB).unwrap();
+        let mut wl = Workload::random(512 * MB, 64 * KB, 0.5, 42);
+        let r = closed_loop(8, 400, |client, now| {
+            let op = wl.next_op();
+            let vol = if client % 2 == 0 { v0 } else { v1 };
+            let done = if op.write {
+                c.write(now, client, vol, op.offset, op.len, 2, Retention::Normal).unwrap().done
+            } else {
+                c.read(now, client, vol, op.offset, op.len).unwrap().done
+            };
+            (done, op.len)
+        });
+        tput.push(i as f64, r.mb_per_sec());
+    }
+    vec![isolation, tput]
+}
+
+/// E3 / Figure 3 — the three-site national-lab deployment with per-tier
+/// file policies: write latency per tier and async RPO behaviour.
+pub fn e3_geo_deploy() -> Vec<Series> {
+    let mut ns = NetStorage::new(NetStorageConfig {
+        site_cluster: ClusterConfig::default().with_blades(4).with_disks(8).with_clients(4),
+        ..NetStorageConfig::default()
+    });
+    let home = SiteId(0);
+    // Tier policies: metro sync, continental sync (min distance), async far, none.
+    let tiers: Vec<(&str, FilePolicy)> = vec![
+        ("local-only", {
+            let mut p = FilePolicy::default();
+            p.geo = GeoPolicy::none();
+            p
+        }),
+        ("sync-metro", {
+            let mut p = FilePolicy::default();
+            p.geo = GeoPolicy::sync(2);
+            p
+        }),
+        ("sync-continental", {
+            let mut p = FilePolicy::default();
+            p.geo = GeoPolicy { mode: GeoMode::Synchronous, site_copies: 2, min_distance_km: 500.0, preferred_sites: vec![] };
+            p
+        }),
+        ("async-far", {
+            let mut p = FilePolicy::default();
+            p.geo = GeoPolicy::async_(2);
+            p
+        }),
+    ];
+    let mut lat = Series::new("E3 write latency (ms) per tier: 0=local 1=sync-metro 2=sync-continental 3=async");
+    let mut t = SimTime::ZERO;
+    for (i, (name, pol)) in tiers.iter().enumerate() {
+        let path = format!("/{name}");
+        ns.create_file(&path, pol.clone(), home).unwrap();
+        let mut total = SimDuration::ZERO;
+        let n = 20u64;
+        for k in 0..n {
+            let w = ns.write_file(t, home, 0, &path, k * 256 * KB, 256 * KB).unwrap();
+            total += w.latency;
+            t = w.done;
+        }
+        lat.push(i as f64, total.as_millis_f64() / n as f64);
+    }
+    // Async backlog drains once shipped.
+    let mut backlog = Series::new("E3 async backlog (writes) before/after shipping");
+    let before = ns.async_backlog(home, SiteId(1)).0 + ns.async_backlog(home, SiteId(2)).0;
+    backlog.push(0.0, before as f64);
+    ns.ship_async(t, u64::MAX).unwrap();
+    let after = ns.async_backlog(home, SiteId(1)).0 + ns.async_backlog(home, SiteId(2)).0;
+    backlog.push(1.0, after as f64);
+    vec![lat, backlog]
+}
+
+/// E4 — aggregate throughput vs blade count on a shared, unpartitioned
+/// volume (§2.1), with the dual-controller legacy array as the baseline.
+pub fn e4_scaling() -> Vec<Series> {
+    let clients = 32usize;
+    let working_set = 128 * MB; // hot set: fits even one blade's cache
+    let io = 64 * KB;
+    let mut tput = Series::new("E4 aggregate read MB/s vs blades (shared volume, no partitioning)");
+    for blades in [1usize, 2, 4, 8, 12, 16] {
+        let mut c = BladeCluster::new(
+            ClusterConfig::default().with_blades(blades).with_disks(16).with_clients(clients),
+        );
+        let vol = c.create_volume("shared", 0, 4 * GB).unwrap();
+        // Warm the working set.
+        let mut t = SimTime::ZERO;
+        for off in (0..working_set).step_by(io as usize) {
+            t = c.write(t, 0, vol, off, io, 1, Retention::Normal).unwrap().done;
+        }
+        let t_warm = c.drain().max(t);
+        let mut wl = Workload::random(working_set, io, 0.0, 7);
+        let r = closed_loop(clients, 300, |client, now| {
+            let op = wl.next_op();
+            let done = c.read(t_warm + now.since(SimTime::ZERO), client, vol, op.offset, op.len).unwrap().done;
+            (SimTime(done.nanos() - t_warm.nanos()), op.len)
+        });
+        tput.push(blades as f64, r.mb_per_sec());
+    }
+    // Legacy baseline: the best a traditional array offers is 2 controllers.
+    let mut legacy = Series::new("E4 baseline: legacy dual-controller MB/s (flat)");
+    for controllers in [1usize, 2] {
+        let mut cfg = LegacyConfig::default();
+        cfg.controllers = controllers;
+        let mut a = LegacyArray::new(cfg);
+        let mut t = SimTime::ZERO;
+        for off in (0..working_set).step_by(io as usize) {
+            a.write(t, 0, off, io);
+            t = SimTime(t.nanos() + 1_000_000);
+        }
+        let mut wl = Workload::random(working_set, io, 0.0, 7);
+        let base = t;
+        let r = closed_loop(clients, 300, |_client, now| {
+            let op = wl.next_op();
+            let lat = a.read(base + now.since(SimTime::ZERO), 0, op.offset, op.len).unwrap();
+            (now + lat, op.len)
+        });
+        legacy.push(controllers as f64, r.mb_per_sec());
+    }
+    vec![tput, legacy]
+}
+
+/// E5 — hot-spot behaviour under Zipf skew: the pooled coherent cache with
+/// load balancing vs volume-pinned controllers (§2.2, §6.3).
+pub fn e5_hotspot() -> Vec<Series> {
+    let volumes = 8usize;
+    let clients = 16usize;
+    let io = 64 * KB;
+    let per_vol = 64 * MB;
+    let mut tput = Series::new("E5 MB/s: 0=pooled(RR) 1=pooled(affinity) 2=pinned-by-volume");
+    let mut spread = Series::new("E5 blade utilization max/mean ratio (hot-spot indicator)");
+    let mut p99s = Series::new("E5 read p99 (ms)");
+    let mut dir_series: Option<Series> = None;
+    for (i, lb) in [LoadBalance::RoundRobin, LoadBalance::PageAffinity, LoadBalance::PinnedByVolume]
+        .into_iter()
+        .enumerate()
+    {
+        let mut c = BladeCluster::new(
+            ClusterConfig::default()
+                .with_blades(8)
+                .with_disks(16)
+                .with_clients(clients)
+                .with_load_balance(lb),
+        );
+        let vols: Vec<_> = (0..volumes).map(|v| c.create_volume(&format!("v{v}"), 0, GB).unwrap()).collect();
+        // Warm all volumes.
+        let mut t = SimTime::ZERO;
+        for &v in &vols {
+            for off in (0..per_vol).step_by(io as usize) {
+                t = c.write(t, 0, v, off, io, 1, Retention::Normal).unwrap().done;
+            }
+        }
+        let t_warm = c.drain().max(t);
+        // Zipf volume popularity: volume 0 is scorching.
+        let zipf = ys_simcore::Zipf::new(volumes, 1.1);
+        let mut rng = ys_simcore::Rng::new(99);
+        let mut off_wl = Workload::random(per_vol, io, 0.0, 5);
+        let r = closed_loop(clients, 250, |client, now| {
+            let v = vols[zipf.sample(&mut rng)];
+            let op = off_wl.next_op();
+            let shifted = SimTime(t_warm.nanos() + now.nanos());
+            let done = c.read(shifted, client, v, op.offset, op.len).unwrap().done;
+            (SimTime(done.nanos() - t_warm.nanos()), op.len)
+        });
+        tput.push(i as f64, r.mb_per_sec());
+        let until = SimTime(t_warm.nanos() + r.makespan.nanos());
+        let utils = c.blade_utilizations(until);
+        let max = utils.iter().cloned().fold(0.0, f64::max);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        spread.push(i as f64, if mean > 0.0 { max / mean } else { 0.0 });
+        p99s.push(i as f64, c.stats.read_latency.p99().as_millis_f64());
+        if i == 0 {
+            // Directory-shard load (§2.2: the coherence directory itself is
+            // hash-sharded across blades so metadata work scales too).
+            let lookups = c.cache.directory().shard_lookups().to_vec();
+            let max = *lookups.iter().max().unwrap_or(&0) as f64;
+            let mean = lookups.iter().sum::<u64>() as f64 / lookups.len().max(1) as f64;
+            let mut dir = Series::new("E5 coherence-directory shard load max/mean (pooled RR)");
+            dir.push(0.0, if mean > 0.0 { max / mean } else { 0.0 });
+            dir_series = Some(dir);
+        }
+    }
+    let mut out = vec![tput, spread, p99s];
+    if let Some(d) = dir_series {
+        out.push(d);
+    }
+    out
+}
+
+/// E6 — DMSD thin provisioning vs fixed partitions (§3).
+pub fn e6_dmsd() -> Vec<Series> {
+    let extent = MB;
+    let pool_extents = 1024 * 1024; // 1 TiB pool
+    let volumes = 100usize;
+    let provisioned_each = 50 * 1024; // 50 GiB provisioned per volume (5x overcommit)
+    let mut rng = ys_simcore::Rng::new(2002);
+
+    let mut m = VolumeManager::new(PhysicalPool::new(pool_extents, extent));
+    let mut fixed_demand = 0u64;
+    let mut actual_total = 0u64;
+    for v in 0..volumes {
+        let id = m.create(format!("proj{v}"), v as u32, VolumeKind::DemandMapped, provisioned_each).unwrap();
+        // Log-normal utilization, clamped: most projects use a few %, some
+        // use a lot.
+        let frac = (rng.lognormal(-3.5, 1.0)).min(0.9);
+        let used = ((provisioned_each as f64) * frac) as u64;
+        if used > 0 {
+            m.write(id, 0, used).unwrap();
+        }
+        actual_total += used;
+        fixed_demand += provisioned_each;
+    }
+    let mut usage = Series::new("E6 pool extents: 0=fixed-provisioning demand 1=DMSD actual 2=pool size");
+    usage.push(0.0, fixed_demand as f64);
+    usage.push(1.0, m.pool().used_extents() as f64);
+    usage.push(2.0, pool_extents as f64);
+
+    // Charge-back accuracy: billed == actually consumed.
+    let lines = m.chargeback();
+    let billed: u64 = lines.iter().map(|l| l.actual_bytes).sum();
+    let mut cb = Series::new("E6 chargeback: billed bytes / consumed bytes (must be 1.0)");
+    cb.push(0.0, billed as f64 / (actual_total * extent).max(1) as f64);
+
+    // Space reclamation: unmap half of each volume's data.
+    let used_before = m.pool().used_extents();
+    let vol_ids: Vec<_> = m.volumes().map(|v| v.id).collect();
+    for id in vol_ids {
+        let mapped = m.volume(id).unwrap().mapped_extents();
+        if mapped > 1 {
+            m.unmap(id, 0, mapped / 2).unwrap();
+        }
+    }
+    let mut reclaim = Series::new("E6 pool extents before/after unmapping half");
+    reclaim.push(0.0, used_before as f64);
+    reclaim.push(1.0, m.pool().used_extents() as f64);
+    assert_eq!(actual_total, fixed_demand.min(actual_total)); // sanity
+    vec![usage, cb, reclaim]
+}
+
+/// E7 — N-way write replication: latency cost vs N, and survival of N−1
+/// blade failures (§6.1).
+pub fn e7_nway() -> Vec<Series> {
+    let mut lat = Series::new("E7 mean write latency (ms) vs replication N");
+    let mut survival = Series::new("E7 dirty pages lost after N-1 blade failures (must be 0)");
+    for n in 1..=4usize {
+        let mut c = BladeCluster::new(ClusterConfig::default().with_blades(6).with_disks(12));
+        let vol = c.create_volume("t", 0, 4 * GB).unwrap();
+        let mut t = SimTime::ZERO;
+        let mut total = SimDuration::ZERO;
+        let ops = 100u64;
+        for i in 0..ops {
+            let w = c.write(t, 0, vol, i * 64 * KB, 64 * KB, n, Retention::Normal).unwrap();
+            total += w.latency;
+            t = w.done;
+        }
+        lat.push(n as f64, total.as_millis_f64() / ops as f64);
+        // Kill N−1 blades while the cache is still dirty.
+        let mut lost = 0usize;
+        for b in 0..n.saturating_sub(1) {
+            lost += c.fail_blade(t, b).lost.len();
+        }
+        survival.push(n as f64, lost as f64);
+    }
+    // The contrast: N=1 with one failure loses data.
+    let mut baseline = Series::new("E7 baseline: N=1 pages lost after 1 failure per blade");
+    let mut c = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(12));
+    let vol = c.create_volume("t", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..40u64 {
+        t = c.write(t, 0, vol, i * 64 * KB, 64 * KB, 1, Retention::Normal).unwrap().done;
+    }
+    let mut lost = 0;
+    for b in 0..4 {
+        lost += c.fail_blade(t, b).lost.len();
+    }
+    baseline.push(1.0, lost as f64);
+    vec![lat, survival, baseline]
+}
+
+/// E8 — distributed rebuild: time vs participating blades, and the effect
+/// of a controller dying mid-rebuild (§2.4, §6.3).
+pub fn e8_rebuild() -> Vec<Series> {
+    let region = 256 * MB;
+    let mut times = Series::new("E8 rebuild time (s) vs participating blades");
+    for workers in [1usize, 2, 4, 8] {
+        let mut c = BladeCluster::new(ClusterConfig::default().with_blades(8).with_disks(8));
+        c.fail_disk(DiskId(3));
+        let blades: Vec<usize> = (0..workers).collect();
+        let mut r = Rebuilder::new(&mut c, SimTime::ZERO, DiskId(3), region, &blades, 64);
+        let done = r.run(&mut c).unwrap();
+        times.push(workers as f64, done.as_secs_f64());
+    }
+    // Worker failure mid-rebuild: completes anyway, slightly later.
+    let mut failover = Series::new("E8 rebuild time (s): 0=4 workers 1=4 workers, one dies midway");
+    for kill_one in [false, true] {
+        let mut c = BladeCluster::new(ClusterConfig::default().with_blades(8).with_disks(8));
+        c.fail_disk(DiskId(3));
+        let mut r = Rebuilder::new(&mut c, SimTime::ZERO, DiskId(3), region, &[0, 1, 2, 3], 32);
+        let mut steps = 0;
+        while r.step(&mut c).unwrap() {
+            steps += 1;
+            if kill_one && steps == 8 {
+                r.fail_worker(0);
+            }
+        }
+        failover.push(kill_one as u64 as f64, r.finished_at().unwrap().as_secs_f64());
+    }
+    vec![times, failover]
+}
+
+/// E9 — geographic replication modes: write latency vs distance for sync
+/// vs async, and the loss window after a site cut (§6.2, §7.2).
+pub fn e9_georep() -> Vec<Series> {
+    let mut sync_lat = Series::new("E9 sync write latency (ms) vs one-way distance (km)");
+    let mut async_lat = Series::new("E9 async write latency (ms) vs one-way distance (km)");
+    for km in [10.0, 100.0, 500.0, 1000.0, 3000.0, 7000.0] {
+        let mut topo = SiteTopology::new(&["a", "b"]);
+        topo.connect(SiteId(0), SiteId(1), catalog::oc192(), km);
+        let mut ns = NetStorage::new(NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            topology: topo,
+            ..NetStorageConfig::default()
+        });
+        let mut sp = FilePolicy::default();
+        sp.geo = GeoPolicy::sync(2);
+        let mut ap = FilePolicy::default();
+        ap.geo = GeoPolicy::async_(2);
+        ns.create_file("/sync", sp, SiteId(0)).unwrap();
+        ns.create_file("/async", ap, SiteId(0)).unwrap();
+        let mut t = SimTime::ZERO;
+        let (mut stot, mut atot) = (SimDuration::ZERO, SimDuration::ZERO);
+        let n = 20u64;
+        for i in 0..n {
+            let w = ns.write_file(t, SiteId(0), 0, "/sync", i * 64 * KB, 64 * KB).unwrap();
+            stot += w.latency;
+            t = w.done;
+            let w = ns.write_file(t, SiteId(0), 0, "/async", i * 64 * KB, 64 * KB).unwrap();
+            atot += w.latency;
+            t = w.done;
+        }
+        sync_lat.push(km, stot.as_millis_f64() / n as f64);
+        async_lat.push(km, atot.as_millis_f64() / n as f64);
+    }
+
+    // Loss window: 100 async writes, ship 50, cut the site.
+    let mut loss = Series::new("E9 writes lost at site cut: 0=sync 1=async(half-shipped)");
+    {
+        let mut ns = NetStorage::new(NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            ..NetStorageConfig::default()
+        });
+        let mut sp = FilePolicy::default();
+        sp.geo = GeoPolicy::sync(2);
+        ns.create_file("/s", sp, SiteId(0)).unwrap();
+        let mut t = SimTime::ZERO;
+        for i in 0..100u64 {
+            t = ns.write_file(t, SiteId(0), 0, "/s", i * 4 * KB, 4 * KB).unwrap().done;
+        }
+        let rep = ns.fail_site(SiteId(0));
+        loss.push(0.0, rep.async_writes_lost as f64);
+    }
+    {
+        let mut ns = NetStorage::new(NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            ..NetStorageConfig::default()
+        });
+        let mut ap = FilePolicy::default();
+        ap.geo = GeoPolicy::async_(2);
+        ns.create_file("/a", ap, SiteId(0)).unwrap();
+        let mut t = SimTime::ZERO;
+        for i in 0..100u64 {
+            t = ns.write_file(t, SiteId(0), 0, "/a", i * 4 * KB, 4 * KB).unwrap().done;
+        }
+        // Ship roughly half the journal (each record is 4 KiB; two async
+        // destinations share the budget round).
+        ns.ship_async(t, 50 * 4 * KB).unwrap();
+        let rep = ns.fail_site(SiteId(0));
+        loss.push(1.0, rep.async_writes_lost as f64);
+    }
+
+    // File-level vs volume-level replication network cost (§7.2: "a key
+    // disadvantage of current solutions is that replication is done at a
+    // volume level – every byte of data is treated the same"). Ten files,
+    // two of which matter; the volume-level baseline ships everything.
+    let mut traffic = Series::new("E9 WAN MB shipped: 0=file-level policies 1=volume-level (everything)");
+    for (i, volume_level) in [false, true].into_iter().enumerate() {
+        let mut ns = NetStorage::new(NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            ..NetStorageConfig::default()
+        });
+        for f in 0..10 {
+            let mut pol = FilePolicy::default();
+            pol.geo = if volume_level || f < 2 { GeoPolicy::async_(2) } else { GeoPolicy::none() };
+            ns.create_file(&format!("/f{f}"), pol, SiteId(0)).unwrap();
+        }
+        let mut t = SimTime::ZERO;
+        for f in 0..10 {
+            for k in 0..8u64 {
+                t = ns.write_file(t, SiteId(0), 0, &format!("/f{f}"), k * MB, MB).unwrap().done;
+            }
+        }
+        ns.ship_async(t, u64::MAX).unwrap();
+        traffic.push(i as f64, ns.wan_bytes_total() as f64 / 1e6);
+    }
+    vec![sync_lat, async_lat, loss, traffic]
+}
+
+/// E10 — distributed data access: first-reference migration penalty, then
+/// local-speed access; automatic replication after write invalidation
+/// (§7.1).
+pub fn e10_remote_access() -> Vec<Series> {
+    let mut ns = NetStorage::new(NetStorageConfig {
+        site_cluster: ClusterConfig::default().with_blades(4).with_disks(8).with_clients(4),
+        heat_half_life_secs: 10_000.0,
+        hot_threshold: 2.0,
+        ..NetStorageConfig::default()
+    });
+    let home = SiteId(0);
+    let remote = SiteId(2); // continental
+    ns.create_file("/dataset.h5", FilePolicy::default(), home).unwrap();
+    let mut t = SimTime::ZERO;
+    t = ns.write_file(t, home, 0, "/dataset.h5", 0, 8 * MB).unwrap().done;
+    let mut seq = Series::new("E10 read latency (ms) at remote site by access number");
+    for i in 0..5 {
+        let r = ns.read_file(t, remote, 0, "/dataset.h5", 0, 8 * MB).unwrap();
+        seq.push(i as f64, r.latency.as_millis_f64());
+        t = r.done;
+    }
+    // Writes at home invalidate the remote copy; auto-replication pushes it
+    // back because the file is hot at both sites.
+    let mut auto = Series::new("E10 post-invalidation: 0=first re-read(ms) 1=read after auto-replication(ms)");
+    t = ns.write_file(t, home, 0, "/dataset.h5", 0, 8 * MB).unwrap().done;
+    // Build heat at both sites.
+    for _ in 0..4 {
+        let r = ns.read_file(t, remote, 0, "/dataset.h5", 0, 8 * MB).unwrap();
+        t = r.done;
+        t = ns.write_file(t, home, 0, "/dataset.h5", 0, 8 * MB).unwrap().done;
+    }
+    let first = ns.read_file(t, remote, 0, "/dataset.h5", 0, 8 * MB).unwrap();
+    auto.push(0.0, first.latency.as_millis_f64());
+    t = first.done;
+    // Invalidate once more, then let auto-replication push proactively.
+    t = ns.write_file(t, home, 0, "/dataset.h5", 0, 8 * MB).unwrap().done;
+    ns.run_auto_replication(t).unwrap();
+    let pushed = ns.read_file(t + SimDuration::from_secs(1), remote, 0, "/dataset.h5", 0, 8 * MB).unwrap();
+    auto.push(1.0, pushed.latency.as_millis_f64());
+    vec![seq, auto]
+}
+
+/// E11 — wire-speed encryption (§5.1, §8.1): streaming throughput with
+/// encryption off / hardware / software.
+pub fn e11_encryption() -> Vec<Series> {
+    let mut tput = Series::new("E11 streaming read MB/s: 0=off 1=at-rest+transit(hw) 2=at-rest+transit(sw)");
+    for (i, enc) in [EncryptionConfig::off(), EncryptionConfig::full_hw(), EncryptionConfig::full_sw()]
+        .into_iter()
+        .enumerate()
+    {
+        let mut c = BladeCluster::new(
+            ClusterConfig::default().with_blades(4).with_disks(16).with_clients(4).with_encryption(enc),
+        );
+        let vol = c.create_volume("media", 0, 4 * GB).unwrap();
+        let total = 256 * MB;
+        let mut t = SimTime::ZERO;
+        for off in (0..total).step_by(MB as usize) {
+            t = c.write(t, 0, vol, off, MB, 1, Retention::Normal).unwrap().done;
+        }
+        let start = c.drain().max(t);
+        // Stream it back from cache through 4 clients.
+        let chunk = MB;
+        let chunks = total / chunk;
+        let r = closed_loop(4, (chunks / 4) as usize, |client, now| {
+            let idx = now.nanos() % chunks; // deterministic-ish spread
+            let off = idx * chunk % total;
+            let shifted = SimTime(start.nanos() + now.nanos());
+            let done = c.read(shifted, client, vol, off, chunk).unwrap().done;
+            (SimTime(done.nanos() - start.nanos()), chunk)
+        });
+        tput.push(i as f64, r.mb_per_sec());
+    }
+    vec![tput]
+}
+
+/// E12 — storage services: PIT-copy duration pinned to one blade vs
+/// distributed across the cluster, and its impact on concurrent foreground
+/// latency (§2.4: services "go faster and not impede active I/O").
+///
+/// The service is sliced and interleaved with foreground read batches in
+/// virtual time, so both contend for the same disk queues. The cache is
+/// deliberately small so foreground reads actually reach the disks.
+pub fn e12_services() -> Vec<Series> {
+    let mut svc = Series::new("E12 backup-stream duration (s): 0=pinned-1-blade 1=distributed-8");
+    let mut fg = Series::new("E12 foreground read p99 (ms): 0=no-service 1=pinned 2=distributed");
+
+    // 32 disks so the farm's aggregate rate (~1.6 GB/s) comfortably
+    // exceeds one blade's 4 Gb/s disk link: a pinned service is then
+    // link-bound while a distributed one is disk-bound — the §2.4 contrast.
+    let cfg = || {
+        ClusterConfig::default()
+            .with_blades(8)
+            .with_disks(32)
+            .with_clients(8)
+            .with_cache_pages(128) // 8 MiB/blade: foreground misses hit disk
+    };
+    let set = 256 * MB;
+    let io = 64 * KB;
+    let slice_bytes = 64 * MB;
+    let total_service = 512 * MB;
+
+    // Cold data set shared by all configs.
+    let prepare = |c: &mut BladeCluster| -> (ys_virt::VolumeId, SimTime) {
+        let vol = c.create_volume("t", 0, 4 * GB).unwrap();
+        let mut t = SimTime::ZERO;
+        for off in (0..set).step_by(MB as usize) {
+            t = c.write(t, 0, vol, off, MB, 1, Retention::Normal).unwrap().done;
+        }
+        let base = c.drain().max(t);
+        (vol, base)
+    };
+    let foreground_batch =
+        |c: &mut BladeCluster, vol: ys_virt::VolumeId, wl: &mut Workload, base: SimTime, ops: usize| -> SimTime {
+            let r = closed_loop(8, ops, |client, now| {
+                let op = wl.next_op();
+                let shifted = SimTime(base.nanos() + now.nanos());
+                let done = c.read(shifted, client, vol, op.offset, op.len).unwrap().done;
+                (SimTime(done.nanos() - base.nanos()), op.len)
+            });
+            base + r.makespan
+        };
+
+    // No-service reference.
+    {
+        let mut c = BladeCluster::new(cfg());
+        let (vol, base) = prepare(&mut c);
+        let mut wl = Workload::random(set, io, 0.0, 3);
+        foreground_batch(&mut c, vol, &mut wl, base, 100);
+        fg.push(0.0, c.stats.read_latency.p99().as_millis_f64());
+    }
+    for (i, blades) in [vec![0usize], (0..8).collect::<Vec<_>>()].into_iter().enumerate() {
+        let mut c = BladeCluster::new(cfg());
+        let (vol, base) = prepare(&mut c);
+        let mut wl = Workload::random(set, io, 0.0, 3);
+        // Service and foreground run on independent virtual-time cursors
+        // that overlap: both contend for the same disks and blade links.
+        let mut svc_t = base;
+        let mut fg_t = base;
+        let mut pos = 0u64;
+        while pos < total_service {
+            // A backup stream (§2.4): pure sequential reads shipped off the
+            // blade. Pinned to one blade it is that blade's disk-link
+            // bound; distributed it runs at farm rate.
+            let job = ServiceJob {
+                src_offset: GB + pos, // away from the foreground's region
+                dst_offset: None,
+                bytes: slice_bytes.min(total_service - pos),
+                chunk: 16 * MB,
+            };
+            let res = run_service(&mut c, svc_t, job, &blades).unwrap();
+            svc_t = res.finished;
+            fg_t = foreground_batch(&mut c, vol, &mut wl, fg_t, 12).max(fg_t);
+            pos += job.bytes;
+        }
+        svc.push(i as f64, svc_t.since(base).as_secs_f64());
+        fg.push((i + 1) as f64, c.stats.read_latency.p99().as_millis_f64());
+    }
+    vec![svc, fg]
+}
+
+/// An experiment: (id, title, runner).
+pub type Experiment = (&'static str, &'static str, fn() -> Vec<Series>);
+
+/// The experiment registry: id, title, runner.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        ("E1", "E1 Figure-1 high-speed striping", e1_striping as fn() -> Vec<Series>),
+        ("E2", "E2 Figure-2 secure multi-tenant pool", e2_secure_pool),
+        ("E3", "E3 Figure-3 geographic deployment", e3_geo_deploy),
+        ("E4", "E4 throughput scaling vs blades", e4_scaling),
+        ("E5", "E5 hot-spot: pooled vs pinned", e5_hotspot),
+        ("E6", "E6 DMSD thin provisioning", e6_dmsd),
+        ("E7", "E7 N-way write replication", e7_nway),
+        ("E8", "E8 distributed rebuild", e8_rebuild),
+        ("E9", "E9 geo replication modes", e9_georep),
+        ("E10", "E10 distributed data access", e10_remote_access),
+        ("E11", "E11 wire-speed encryption", e11_encryption),
+        ("E12", "E12 storage services offload", e12_services),
+    ]
+}
+
+/// Run the full suite in experiment order.
+pub fn all() -> Vec<(&'static str, Vec<Series>)> {
+    registry().into_iter().map(|(_, title, f)| (title, f())).collect()
+}
+
+/// Run a subset by experiment id (empty filter = everything).
+pub fn all_filtered(filter: &[String]) -> Vec<(&'static str, Vec<Series>)> {
+    registry()
+        .into_iter()
+        .filter(|(id, _, _)| filter.is_empty() || filter.iter().any(|f| f == id))
+        .map(|(_, title, f)| (title, f()))
+        .collect()
+}
+
+/// Multi-seed confidence sweep, run in parallel across threads via
+/// `ys_simcore::sweep` (each simulation stays single-threaded and
+/// deterministic; only independent runs parallelize).
+///
+/// Returns per-seed aggregate MB/s for a Zipf read workload, plus
+/// mean/min/max — the error bars for E5-style numbers.
+pub fn seed_sweep(seeds: &[u64], threads: usize) -> Vec<Series> {
+    let results = ys_simcore::sweep::run_sweep(seeds.to_vec(), threads, |&seed| {
+        let mut c = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(8).with_clients(8));
+        let vol = c.create_volume("v", 0, GB).unwrap();
+        let set = 32 * MB;
+        let io = 64 * KB;
+        let mut t = SimTime::ZERO;
+        for off in (0..set).step_by(io as usize) {
+            t = c.write(t, 0, vol, off, io, 1, Retention::Normal).unwrap().done;
+        }
+        let base = c.drain().max(t);
+        let mut wl = Workload::zipf(set, io, 0.9, 0.0, seed);
+        let r = closed_loop(8, 150, |client, now| {
+            let op = wl.next_op();
+            let shifted = SimTime(base.nanos() + now.nanos());
+            let done = c.read(shifted, client, vol, op.offset, op.len).unwrap().done;
+            (SimTime(done.nanos() - base.nanos()), op.len)
+        });
+        r.mb_per_sec()
+    });
+    let mut per_seed = Series::new("seed sweep: MB/s per seed (parallel harness)");
+    for (s, &mbps) in seeds.iter().zip(&results) {
+        per_seed.push(*s as f64, mbps);
+    }
+    let mean = results.iter().sum::<f64>() / results.len().max(1) as f64;
+    let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = results.iter().cloned().fold(0.0, f64::max);
+    let mut summary = Series::new("seed sweep summary: 0=mean 1=min 2=max");
+    summary.push(0.0, mean);
+    summary.push(1.0, min);
+    summary.push(2.0, max);
+    vec![per_seed, summary]
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        // The sweep harness must not perturb determinism: per-seed results
+        // are identical whether run on 1 thread or 8.
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let seq = seed_sweep(&seeds, 1);
+        let par = seed_sweep(&seeds, 8);
+        assert_eq!(seq[0].points, par[0].points, "thread count changed results");
+    }
+
+    #[test]
+    fn seed_variance_is_modest() {
+        let seeds = [10u64, 20, 30, 40];
+        let out = seed_sweep(&seeds, 4);
+        let mean = out[1].points[0].1;
+        let min = out[1].points[1].1;
+        let max = out[1].points[2].1;
+        assert!(min > 0.0);
+        assert!(max / min < 1.5, "seed-to-seed spread should be modest: {min}..{max} (mean {mean})");
+    }
+}

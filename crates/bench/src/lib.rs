@@ -1,0 +1,16 @@
+//! `ys-bench` — the experiment suite reproducing every figure and
+//! quantitative claim of the paper (see DESIGN.md §4 for the index).
+//!
+//! * [`driver`] — the closed-loop multi-client workload driver;
+//! * [`experiments`] — E1–E12, each returning the printed series;
+//! * `src/bin/report.rs` — runs the suite and prints the tables recorded
+//!   in EXPERIMENTS.md;
+//! * `benches/experiments.rs` — Criterion wall-time benches over the same
+//!   experiment bodies.
+
+pub mod ablations;
+pub mod driver;
+pub mod experiments;
+pub mod spec;
+
+pub use driver::{closed_loop, RunResult};

@@ -1,0 +1,260 @@
+//! Declarative simulation specs: a JSON-serializable description of a
+//! cluster, a workload, and a fault schedule, so operators can explore
+//! configurations without writing Rust (`cargo run -p ys-bench --bin
+//! simulate -- spec.json`).
+
+use serde::{Deserialize, Serialize};
+use ys_core::{BladeCluster, ClusterConfig, LoadBalance};
+use ys_proto::Workload;
+use ys_simcore::fault::{FaultPlan, FaultTarget};
+use ys_simcore::time::{SimDuration, SimTime};
+
+/// RAID level by name.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(rename_all = "lowercase")]
+pub enum RaidSpec {
+    Raid0,
+    Raid1,
+    Raid5,
+    Raid6,
+}
+
+impl RaidSpec {
+    fn to_level(self) -> ys_raid::RaidLevel {
+        match self {
+            RaidSpec::Raid0 => ys_raid::RaidLevel::Raid0,
+            RaidSpec::Raid1 => ys_raid::RaidLevel::Raid1 { copies: 2 },
+            RaidSpec::Raid5 => ys_raid::RaidLevel::Raid5,
+            RaidSpec::Raid6 => ys_raid::RaidLevel::Raid6,
+        }
+    }
+}
+
+/// Workload pattern by name.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "lowercase")]
+pub enum PatternSpec {
+    Sequential,
+    Random,
+    Zipf,
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultSpec {
+    BladeFail { at_ms: u64, blade: usize },
+    BladeRepair { at_ms: u64, blade: usize },
+    DiskFail { at_ms: u64, disk: usize },
+}
+
+/// The whole scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimSpec {
+    #[serde(default = "d_blades")]
+    pub blades: usize,
+    #[serde(default = "d_disks")]
+    pub disks: usize,
+    #[serde(default = "d_clients")]
+    pub clients: usize,
+    #[serde(default = "d_raid")]
+    pub raid: RaidSpec,
+    #[serde(default = "d_cache_mb")]
+    pub cache_mb_per_blade: usize,
+    #[serde(default)]
+    pub prefetch_pages: usize,
+    #[serde(default = "d_copies")]
+    pub write_copies: usize,
+    #[serde(default = "d_lb")]
+    pub load_balance: String,
+    #[serde(default = "d_pattern")]
+    pub pattern: PatternSpec,
+    #[serde(default = "d_ws_mb")]
+    pub working_set_mb: u64,
+    #[serde(default = "d_io_kb")]
+    pub io_kb: u64,
+    #[serde(default = "d_wf")]
+    pub write_fraction: f64,
+    #[serde(default = "d_theta")]
+    pub zipf_theta: f64,
+    #[serde(default = "d_ops")]
+    pub ops: usize,
+    #[serde(default = "d_seed")]
+    pub seed: u64,
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+}
+
+fn d_blades() -> usize { 4 }
+fn d_disks() -> usize { 16 }
+fn d_clients() -> usize { 8 }
+fn d_raid() -> RaidSpec { RaidSpec::Raid5 }
+fn d_cache_mb() -> usize { 256 }
+fn d_copies() -> usize { 2 }
+fn d_lb() -> String { "round_robin".into() }
+fn d_pattern() -> PatternSpec { PatternSpec::Random }
+fn d_ws_mb() -> u64 { 256 }
+fn d_io_kb() -> u64 { 64 }
+fn d_wf() -> f64 { 0.3 }
+fn d_theta() -> f64 { 0.99 }
+fn d_ops() -> usize { 2000 }
+fn d_seed() -> u64 { 42 }
+
+/// The numbers a run produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimOutcome {
+    pub ops_completed: u64,
+    pub ops_failed: u64,
+    pub availability: f64,
+    pub mb_moved: f64,
+    pub read_p50_ms: f64,
+    pub read_p99_ms: f64,
+    pub write_p99_ms: f64,
+    pub dirty_pages_lost: u64,
+    pub cache_local_hits: u64,
+    pub cache_remote_hits: u64,
+    pub disk_reads: u64,
+}
+
+impl SimSpec {
+    pub fn to_cluster_config(&self) -> ClusterConfig {
+        let lb = match self.load_balance.as_str() {
+            "page_affinity" => LoadBalance::PageAffinity,
+            "pinned" => LoadBalance::PinnedByVolume,
+            _ => LoadBalance::RoundRobin,
+        };
+        ClusterConfig::default()
+            .with_blades(self.blades)
+            .with_disks(self.disks)
+            .with_clients(self.clients)
+            .with_raid(self.raid.to_level())
+            .with_cache_pages(self.cache_mb_per_blade * 16) // 64 KiB pages
+            .with_load_balance(lb)
+            .with_prefetch(self.prefetch_pages)
+            .with_write_copies(self.write_copies)
+    }
+
+    pub fn to_workload(&self) -> Workload {
+        let extent = self.working_set_mb << 20;
+        let io = self.io_kb << 10;
+        match self.pattern {
+            PatternSpec::Sequential => Workload::sequential(extent, io, self.seed),
+            PatternSpec::Random => Workload::random(extent, io, self.write_fraction, self.seed),
+            PatternSpec::Zipf => Workload::zipf(extent, io, self.zipf_theta, self.write_fraction, self.seed),
+        }
+    }
+
+    pub fn to_fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for f in &self.faults {
+            plan = match *f {
+                FaultSpec::BladeFail { at_ms, blade } => {
+                    plan.fail(SimTime::ZERO + SimDuration::from_millis(at_ms), FaultTarget::Blade(blade))
+                }
+                FaultSpec::BladeRepair { at_ms, blade } => {
+                    plan.repair(SimTime::ZERO + SimDuration::from_millis(at_ms), FaultTarget::Blade(blade))
+                }
+                FaultSpec::DiskFail { at_ms, disk } => {
+                    plan.fail(SimTime::ZERO + SimDuration::from_millis(at_ms), FaultTarget::Disk(disk))
+                }
+            };
+        }
+        plan
+    }
+
+    /// Run the scenario to completion.
+    pub fn run(&self) -> SimOutcome {
+        let mut cluster = BladeCluster::new(self.to_cluster_config());
+        let vol = cluster
+            .create_volume("spec", 0, (self.working_set_mb << 20).max(1 << 30))
+            .expect("volume");
+        let result = ys_core::run_scenario(
+            &mut cluster,
+            vol,
+            self.to_workload(),
+            self.ops,
+            self.write_copies,
+            &self.to_fault_plan(),
+        );
+        SimOutcome {
+            ops_completed: result.ops_completed,
+            ops_failed: result.ops_failed,
+            availability: result.availability(),
+            mb_moved: result.bytes_moved as f64 / 1e6,
+            read_p50_ms: cluster.stats.read_latency.p50().as_millis_f64(),
+            read_p99_ms: cluster.stats.read_latency.p99().as_millis_f64(),
+            write_p99_ms: cluster.stats.write_latency.p99().as_millis_f64(),
+            dirty_pages_lost: result.dirty_pages_lost,
+            cache_local_hits: cluster.stats.reads_from_local_cache,
+            cache_remote_hits: cluster.stats.reads_from_remote_cache,
+            disk_reads: cluster.stats.reads_from_disk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_through_json() {
+        let spec: SimSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec.blades, 4);
+        assert_eq!(spec.raid, RaidSpec::Raid5);
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: SimSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.blades, spec.blades);
+        assert_eq!(back.ops, spec.ops);
+    }
+
+    #[test]
+    fn spec_runs_and_reports() {
+        let spec: SimSpec = serde_json::from_str(
+            r#"{
+                "blades": 4, "disks": 8, "ops": 300, "working_set_mb": 64,
+                "pattern": "zipf", "zipf_theta": 0.9,
+                "faults": [{"blade_fail": {"at_ms": 10, "blade": 0}}]
+            }"#,
+        )
+        .unwrap();
+        let out = spec.run();
+        assert_eq!(out.ops_completed + out.ops_failed, 300);
+        assert_eq!(out.availability, 1.0, "one blade failure never refuses service");
+        assert_eq!(out.dirty_pages_lost, 0);
+        assert!(out.read_p99_ms > 0.0);
+    }
+
+    #[test]
+    fn same_spec_same_outcome() {
+        let spec: SimSpec = serde_json::from_str(r#"{"ops": 200, "working_set_mb": 32}"#).unwrap();
+        let a = serde_json::to_string(&spec.run()).unwrap();
+        let b = serde_json::to_string(&spec.run()).unwrap();
+        assert_eq!(a, b, "spec runs are deterministic");
+    }
+}
+
+#[cfg(test)]
+mod scenario_file_tests {
+    use super::*;
+
+    /// Every checked-in scenario file must parse and run.
+    #[test]
+    fn shipped_scenario_files_are_valid() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+        let mut found = 0;
+        for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
+            let path = entry.unwrap().path();
+            if path.extension().map(|e| e == "json").unwrap_or(false) {
+                let text = std::fs::read_to_string(&path).unwrap();
+                let spec: SimSpec = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| panic!("{path:?} does not parse: {e}"));
+                // Shrink ops for test speed; the shape is what we validate.
+                let spec = SimSpec { ops: spec.ops.min(300), ..spec };
+                let out = spec.run();
+                assert_eq!(out.ops_completed + out.ops_failed, spec.ops as u64, "{path:?}");
+                found += 1;
+            }
+        }
+        assert!(found >= 2, "scenario files missing");
+    }
+}

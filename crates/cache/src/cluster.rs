@@ -1,0 +1,716 @@
+//! The coherent pooled cache across controller blades (§2.2, §6.1, §6.3).
+//!
+//! Protocol: MOSI-flavoured directory coherence at page granularity.
+//!
+//! * A **read** hits locally, hits remotely (copy supplied from any holder's
+//!   cache — "each controller would read/write data from/to the cache of
+//!   other controllers"), or misses to disk.
+//! * A **write** obtains exclusivity (invalidating other holders), bumps the
+//!   page's version, and places **N−1 dirty replicas** on peer blades before
+//!   the host is acked; the replicas are pinned until destage (§6.1).
+//! * A **blade failure** promotes a surviving replica to owner; data is lost
+//!   only when a dirty page's owner *and* all its replicas are gone —
+//!   exactly the N−1-failures guarantee the paper claims.
+
+use crate::directory::{DirEntry, Directory, PageKey, PageState};
+use crate::lru::{LruList, Retention};
+use std::collections::HashMap;
+
+/// Why a page occupies a blade's cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Residency {
+    /// Normal coherent copy (Shared or Modified per directory).
+    Cached { state: PageState, dirty: bool },
+    /// Pinned dirty replica protecting another blade's write.
+    Replica,
+}
+
+#[derive(Clone, Debug)]
+struct PageMeta {
+    residency: Residency,
+    retention: Retention,
+    version: u64,
+}
+
+#[derive(Clone, Debug)]
+struct BladeSlot {
+    capacity_pages: usize,
+    lru: LruList<PageKey>,
+    pages: HashMap<PageKey, PageMeta>,
+    up: bool,
+}
+
+impl BladeSlot {
+    fn occupancy(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Outcome of a read probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Requesting blade already holds the page.
+    LocalHit,
+    /// Another blade supplied the page from its cache.
+    RemoteHit { from: usize },
+    /// Nobody holds it: caller must fetch from disk, then `fill`.
+    Miss,
+}
+
+/// Outcome of a write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Blades whose copies were invalidated.
+    pub invalidated: Vec<usize>,
+    /// Peer blades now holding pinned dirty replicas.
+    pub replicas: Vec<usize>,
+    /// New version of the page.
+    pub version: u64,
+}
+
+/// Result of a blade failure.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Dirty pages whose ownership moved to a surviving replica.
+    pub promoted: Vec<PageKey>,
+    /// Dirty pages with no surviving replica: data loss.
+    pub lost: Vec<PageKey>,
+}
+
+/// Aggregate statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    pub local_hits: u64,
+    pub remote_hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+    pub destages: u64,
+    pub replica_placements: u64,
+}
+
+/// Errors surfaced to the orchestrator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheError {
+    BladeDown(usize),
+    /// Every resident page is dirty/pinned: the write must wait for destage.
+    EvictionStall(usize),
+    /// Page isn't in the expected state for the operation.
+    BadState,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::BladeDown(b) => write!(f, "blade {b} is down"),
+            CacheError::EvictionStall(b) => write!(f, "blade {b} cache saturated with dirty data"),
+            CacheError::BadState => write!(f, "page in unexpected coherence state"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// The pooled, coherent blade-cache cluster.
+///
+/// ```
+/// use ys_cache::{CacheCluster, PageKey, ReadOutcome, Retention};
+///
+/// let mut pool = CacheCluster::new(4, 1024);
+/// let page = PageKey::new(0, 42);
+/// // A 3-way protected write: the data survives any 2 blade failures.
+/// let w = pool.write(0, page, 3, Retention::Normal).unwrap();
+/// assert_eq!(w.replicas.len(), 2);
+/// // Any blade can read it — blade 3 is supplied from a peer's cache.
+/// assert!(matches!(pool.read(3, page).unwrap(), ReadOutcome::LocalHit | ReadOutcome::RemoteHit { .. }));
+/// let report = pool.fail_blade(0);
+/// assert!(report.lost.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheCluster {
+    blades: Vec<BladeSlot>,
+    directory: Directory,
+    stats: CacheStats,
+}
+
+impl CacheCluster {
+    pub fn new(blade_count: usize, capacity_pages_per_blade: usize) -> CacheCluster {
+        assert!(blade_count > 0);
+        CacheCluster {
+            blades: (0..blade_count)
+                .map(|_| BladeSlot {
+                    capacity_pages: capacity_pages_per_blade,
+                    lru: LruList::new(),
+                    pages: HashMap::new(),
+                    up: true,
+                })
+                .collect(),
+            directory: Directory::new(blade_count),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn blade_count(&self) -> usize {
+        self.blades.len()
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    pub fn blade_up(&self, b: usize) -> bool {
+        self.blades.get(b).map(|s| s.up).unwrap_or(false)
+    }
+
+    pub fn occupancy(&self, b: usize) -> usize {
+        self.blades[b].occupancy()
+    }
+
+    /// Pooled capacity across up blades, in pages (§2.2: "adding additional
+    /// controller blades would increase the cache available to all").
+    pub fn pooled_capacity(&self) -> usize {
+        self.blades.iter().filter(|b| b.up).map(|b| b.capacity_pages).sum()
+    }
+
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    fn ensure_up(&self, b: usize) -> Result<(), CacheError> {
+        if self.blade_up(b) {
+            Ok(())
+        } else {
+            Err(CacheError::BladeDown(b))
+        }
+    }
+
+    /// Make room for one page on `blade`. Dirty and replica pages are
+    /// veto'd — they must survive until destage.
+    fn make_room(&mut self, blade: usize) -> Result<Vec<PageKey>, CacheError> {
+        let mut evicted = Vec::new();
+        loop {
+            let slot = &mut self.blades[blade];
+            if slot.occupancy() < slot.capacity_pages {
+                break;
+            }
+            let victim = {
+                let pages = &slot.pages;
+                slot.lru.evict_where(|k| match pages.get(k) {
+                    Some(m) => !matches!(m.residency, Residency::Cached { dirty: false, .. }),
+                    None => true,
+                })
+            };
+            match victim {
+                Some(key) => {
+                    self.blades[blade].pages.remove(&key);
+                    self.detach_holder(key, blade);
+                    self.stats.evictions += 1;
+                    evicted.push(key);
+                }
+                None => return Err(CacheError::EvictionStall(blade)),
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Remove `blade` from a page's directory holder sets; drop the entry
+    /// when nobody holds the page anymore.
+    fn detach_holder(&mut self, key: PageKey, blade: usize) {
+        let e = self.directory.entry(key);
+        e.sharers.retain(|&s| s != blade);
+        if e.owner == Some(blade) {
+            e.owner = None;
+        }
+        if !e.is_cached_anywhere() && e.replicas.is_empty() {
+            self.directory.remove(&key);
+        }
+    }
+
+    /// Probe for a read at `blade`. Does not fill on miss — the caller
+    /// fetches from disk and then calls [`CacheCluster::fill`], so the
+    /// simulator can charge the disk time in between.
+    pub fn read(&mut self, blade: usize, key: PageKey) -> Result<ReadOutcome, CacheError> {
+        self.ensure_up(blade)?;
+        if let Some(meta) = self.blades[blade].pages.get(&key) {
+            match meta.residency {
+                Residency::Cached { .. } => {
+                    self.blades[blade].lru.touch(&key);
+                    self.stats.local_hits += 1;
+                    return Ok(ReadOutcome::LocalHit);
+                }
+                // A pinned dirty replica carries the current version of the
+                // data: serve it locally without disturbing its pin.
+                Residency::Replica => {
+                    self.stats.local_hits += 1;
+                    return Ok(ReadOutcome::LocalHit);
+                }
+            }
+        }
+        // Find a remote holder.
+        let holder = {
+            let up: Vec<bool> = self.blades.iter().map(|b| b.up).collect();
+            match self.directory.get(&key) {
+                Some(e) => e.holders().into_iter().find(|&h| up[h] && h != blade),
+                None => None,
+            }
+        };
+        match holder {
+            Some(from) => {
+                self.install_shared(blade, key, Retention::Normal)?;
+                self.stats.remote_hits += 1;
+                Ok(ReadOutcome::RemoteHit { from })
+            }
+            None => {
+                self.stats.misses += 1;
+                Ok(ReadOutcome::Miss)
+            }
+        }
+    }
+
+    /// Install a clean Shared copy at `blade` (after a disk fetch or a
+    /// remote supply).
+    pub fn fill(&mut self, blade: usize, key: PageKey, retention: Retention) -> Result<Vec<PageKey>, CacheError> {
+        self.ensure_up(blade)?;
+        self.install_shared(blade, key, retention)
+    }
+
+    fn install_shared(&mut self, blade: usize, key: PageKey, retention: Retention) -> Result<Vec<PageKey>, CacheError> {
+        if let Some(meta) = self.blades[blade].pages.get(&key) {
+            match meta.residency {
+                Residency::Cached { .. } => {
+                    self.blades[blade].lru.touch(&key);
+                    return Ok(vec![]);
+                }
+                // Never displace a pinned replica: it already holds the data
+                // and is protecting an un-destaged write.
+                Residency::Replica => return Ok(vec![]),
+            }
+        }
+        let evicted = self.make_room(blade)?;
+        let version = self.directory.entry(key).version;
+        self.blades[blade].pages.insert(
+            key,
+            PageMeta { residency: Residency::Cached { state: PageState::Shared, dirty: false }, retention, version },
+        );
+        self.blades[blade].lru.insert(key, retention);
+        let e = self.directory.entry(key);
+        if e.owner != Some(blade) && !e.sharers.contains(&blade) {
+            e.sharers.push(blade);
+        }
+        Ok(evicted)
+    }
+
+    /// Perform a write at `blade` with `n_way` total dirty copies
+    /// (1 = no replication; 2 = classic dual-controller; N = paper §6.1).
+    pub fn write(
+        &mut self,
+        blade: usize,
+        key: PageKey,
+        n_way: usize,
+        retention: Retention,
+    ) -> Result<WriteOutcome, CacheError> {
+        assert!(n_way >= 1);
+        self.ensure_up(blade)?;
+
+        // Reserve local space FIRST: if the cache is saturated with dirty
+        // data we must fail before mutating any remote state, or the
+        // directory would point at copies we already dropped.
+        if !self.blades[blade].pages.contains_key(&key) {
+            self.make_room(blade)?;
+        }
+
+        // Invalidate every other holder.
+        let holders: Vec<usize> = match self.directory.get(&key) {
+            Some(e) => e.holders().into_iter().filter(|&h| h != blade).collect(),
+            None => vec![],
+        };
+        for h in &holders {
+            self.blades[*h].pages.remove(&key);
+            self.blades[*h].lru.remove(&key);
+            self.stats.invalidations += 1;
+        }
+        // Drop any stale replicas from a previous write generation.
+        let old_replicas: Vec<usize> = self.directory.entry(key).replicas.clone();
+        for r in old_replicas {
+            if r != blade {
+                self.blades[r].pages.remove(&key);
+                self.blades[r].lru.remove(&key);
+            }
+        }
+
+        // Install/refresh the exclusive copy locally (space reserved above).
+        let version = {
+            let e = self.directory.entry(key);
+            e.version += 1;
+            e.sharers.clear();
+            e.owner = Some(blade);
+            e.replicas.clear();
+            e.version
+        };
+        self.blades[blade].pages.insert(
+            key,
+            PageMeta { residency: Residency::Cached { state: PageState::Modified, dirty: true }, retention, version },
+        );
+        self.blades[blade].lru.insert(key, retention);
+
+        // Place N−1 pinned replicas on peer blades, chosen deterministically
+        // by page hash so replica load spreads.
+        let mut replicas = Vec::new();
+        if n_way > 1 {
+            let candidates: Vec<usize> = {
+                let n = self.blades.len();
+                let start = key.home(n);
+                (0..n)
+                    .map(|i| (start + i) % n)
+                    .filter(|&b| b != blade && self.blades[b].up)
+                    .collect()
+            };
+            for target in candidates.into_iter().take(n_way - 1) {
+                if self.blades[target].occupancy() >= self.blades[target].capacity_pages
+                    && self.make_room(target).is_err()
+                {
+                    // Peer saturated with dirty data; skip it rather than stall.
+                    continue;
+                }
+                self.blades[target].pages.insert(
+                    key,
+                    PageMeta { residency: Residency::Replica, retention, version },
+                );
+                self.blades[target].lru.insert(key, Retention::Pinned);
+                replicas.push(target);
+                self.stats.replica_placements += 1;
+            }
+        }
+        self.directory.entry(key).replicas = replicas.clone();
+        Ok(WriteOutcome { invalidated: holders, replicas, version })
+    }
+
+    /// Write-back to disk finished: unpin replicas, clean the owner copy.
+    pub fn destage(&mut self, key: PageKey) -> Result<(), CacheError> {
+        let (owner, replicas) = match self.directory.get(&key) {
+            Some(e) => (e.owner, e.replicas.clone()),
+            None => return Err(CacheError::BadState),
+        };
+        let owner = owner.ok_or(CacheError::BadState)?;
+        for r in replicas {
+            self.blades[r].pages.remove(&key);
+            self.blades[r].lru.remove(&key);
+        }
+        if let Some(meta) = self.blades[owner].pages.get_mut(&key) {
+            meta.residency = Residency::Cached { state: PageState::Shared, dirty: false };
+            let retention = meta.retention;
+            self.blades[owner].lru.insert(key, retention);
+        }
+        let e = self.directory.entry(key);
+        e.replicas.clear();
+        e.owner = None;
+        if !e.sharers.contains(&owner) {
+            e.sharers.push(owner);
+        }
+        self.stats.destages += 1;
+        Ok(())
+    }
+
+    /// Drop every copy and replica of `key` cluster-wide (e.g. after a
+    /// volume rollback invalidated the data under it).
+    pub fn invalidate_page(&mut self, key: PageKey) {
+        let holders: Vec<usize> = match self.directory.get(&key) {
+            Some(e) => {
+                let mut h = e.holders();
+                h.extend(&e.replicas);
+                h
+            }
+            None => return,
+        };
+        for b in holders {
+            self.blades[b].pages.remove(&key);
+            self.blades[b].lru.remove(&key);
+        }
+        self.directory.remove(&key);
+    }
+
+    /// Pages currently dirty at `blade` (owner copies awaiting destage).
+    pub fn dirty_pages(&self, blade: usize) -> Vec<PageKey> {
+        self.blades[blade]
+            .pages
+            .iter()
+            .filter(|(_, m)| matches!(m.residency, Residency::Cached { dirty: true, .. }))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Fail a blade: every copy it held vanishes. Dirty pages survive iff a
+    /// replica lives on an up blade (promoted to owner); otherwise lost.
+    pub fn fail_blade(&mut self, blade: usize) -> FailureReport {
+        let mut report = FailureReport::default();
+        if !self.blades[blade].up {
+            return report;
+        }
+        self.blades[blade].up = false;
+        let held: Vec<(PageKey, PageMeta)> = self.blades[blade].pages.drain().collect();
+        self.blades[blade].lru = LruList::new();
+
+        for (key, meta) in held {
+            let e: &mut DirEntry = self.directory.entry(key);
+            e.sharers.retain(|&s| s != blade);
+            e.replicas.retain(|&r| r != blade);
+            match meta.residency {
+                Residency::Cached { dirty: true, .. } => {
+                    debug_assert_eq!(e.owner, Some(blade));
+                    e.owner = None;
+                    // Promote the first surviving replica.
+                    if let Some(&survivor) = e.replicas.first() {
+                        e.owner = Some(survivor);
+                        e.replicas.retain(|&r| r != survivor);
+                        let version = e.version;
+                        let retention = meta.retention;
+                        self.blades[survivor].pages.insert(
+                            key,
+                            PageMeta {
+                                residency: Residency::Cached { state: PageState::Modified, dirty: true },
+                                retention,
+                                version,
+                            },
+                        );
+                        self.blades[survivor].lru.insert(key, retention);
+                        report.promoted.push(key);
+                    } else {
+                        report.lost.push(key);
+                        if !e.is_cached_anywhere() {
+                            self.directory.remove(&key);
+                        }
+                    }
+                }
+                Residency::Cached { dirty: false, .. } | Residency::Replica => {
+                    if e.owner == Some(blade) {
+                        e.owner = None;
+                    }
+                    if !e.is_cached_anywhere() && e.replicas.is_empty() {
+                        self.directory.remove(&key);
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Bring a failed blade back, empty.
+    pub fn repair_blade(&mut self, blade: usize) {
+        self.blades[blade].up = true;
+    }
+
+    /// Verify the coherence invariants; returns a description of the first
+    /// violation. Used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (key, e) in self.directory.iter() {
+            // MOSI-style: a dirty owner may coexist with clean read sharers
+            // (the owner supplies data until destage), but never appears in
+            // its own sharer list, and writes invalidate every other holder.
+            if let Some(o) = e.owner {
+                if e.sharers.contains(&o) {
+                    return Err(format!("{key:?}: owner {o} also listed as sharer"));
+                }
+            }
+            if let Some(o) = e.owner {
+                match self.blades[o].pages.get(key) {
+                    Some(m) if matches!(m.residency, Residency::Cached { dirty: true, .. }) => {}
+                    _ => return Err(format!("{key:?}: directory owner {o} lacks dirty copy")),
+                }
+            }
+            for &s in &e.sharers {
+                match self.blades[s].pages.get(key) {
+                    Some(m) if matches!(m.residency, Residency::Cached { dirty: false, .. }) => {}
+                    _ => return Err(format!("{key:?}: sharer {s} lacks clean copy")),
+                }
+            }
+            for &r in &e.replicas {
+                match self.blades[r].pages.get(key) {
+                    Some(m) if matches!(m.residency, Residency::Replica) => {
+                        if m.version != e.version {
+                            return Err(format!("{key:?}: replica {r} stale version"));
+                        }
+                    }
+                    _ => return Err(format!("{key:?}: replica blade {r} lacks replica copy")),
+                }
+            }
+        }
+        // No blade over capacity.
+        for (i, b) in self.blades.iter().enumerate() {
+            if b.occupancy() > b.capacity_pages {
+                return Err(format!("blade {i} over capacity"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64) -> PageKey {
+        PageKey::new(0, p)
+    }
+
+    #[test]
+    fn miss_then_fill_then_local_hit() {
+        let mut c = CacheCluster::new(4, 16);
+        assert_eq!(c.read(0, key(1)).unwrap(), ReadOutcome::Miss);
+        c.fill(0, key(1), Retention::Normal).unwrap();
+        assert_eq!(c.read(0, key(1)).unwrap(), ReadOutcome::LocalHit);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_hit_supplies_from_peer_cache() {
+        let mut c = CacheCluster::new(4, 16);
+        c.fill(2, key(9), Retention::Normal).unwrap();
+        match c.read(0, key(9)).unwrap() {
+            ReadOutcome::RemoteHit { from } => assert_eq!(from, 2),
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        // Now both hold it; a third blade can be supplied by either.
+        assert!(matches!(c.read(3, key(9)).unwrap(), ReadOutcome::RemoteHit { .. }));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut c = CacheCluster::new(4, 16);
+        c.fill(1, key(5), Retention::Normal).unwrap();
+        c.fill(2, key(5), Retention::Normal).unwrap();
+        let out = c.write(0, key(5), 1, Retention::Normal).unwrap();
+        let mut inv = out.invalidated.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![1, 2]);
+        assert_eq!(c.read(1, key(5)).unwrap(), ReadOutcome::RemoteHit { from: 0 });
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn n_way_write_places_replicas() {
+        let mut c = CacheCluster::new(6, 16);
+        let out = c.write(0, key(3), 3, Retention::Normal).unwrap();
+        assert_eq!(out.replicas.len(), 2);
+        assert!(!out.replicas.contains(&0));
+        assert_eq!(c.stats().replica_placements, 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn destage_unpins_replicas_and_cleans_owner() {
+        let mut c = CacheCluster::new(4, 16);
+        let out = c.write(0, key(3), 3, Retention::Normal).unwrap();
+        for &r in &out.replicas {
+            assert_eq!(c.occupancy(r), 1);
+        }
+        c.destage(key(3)).unwrap();
+        for &r in &out.replicas {
+            assert_eq!(c.occupancy(r), 0, "replica freed after destage");
+        }
+        assert!(c.dirty_pages(0).is_empty());
+        assert_eq!(c.read(0, key(3)).unwrap(), ReadOutcome::LocalHit);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blade_failure_with_replicas_preserves_dirty_data() {
+        let mut c = CacheCluster::new(4, 16);
+        c.write(0, key(7), 2, Retention::Normal).unwrap();
+        let report = c.fail_blade(0);
+        assert_eq!(report.promoted, vec![key(7)]);
+        assert!(report.lost.is_empty());
+        // The promoted copy is readable from the survivor.
+        assert!(matches!(c.read(1, key(7)), Ok(ReadOutcome::LocalHit) | Ok(ReadOutcome::RemoteHit { .. })));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blade_failure_without_replicas_loses_dirty_data() {
+        let mut c = CacheCluster::new(4, 16);
+        c.write(0, key(7), 1, Retention::Normal).unwrap();
+        let report = c.fail_blade(0);
+        assert_eq!(report.lost, vec![key(7)]);
+        assert!(report.promoted.is_empty());
+    }
+
+    #[test]
+    fn n_way_survives_n_minus_1_failures() {
+        let mut c = CacheCluster::new(5, 16);
+        let out = c.write(0, key(11), 3, Retention::Normal).unwrap();
+        // Kill owner, then the first promoted replica: 2 failures, N=3.
+        let r1 = c.fail_blade(0);
+        assert_eq!(r1.promoted.len(), 1);
+        let owner1 = out.replicas[0];
+        let r2 = c.fail_blade(owner1);
+        assert_eq!(r2.promoted.len(), 1, "second replica takes over");
+        assert!(r2.lost.is_empty());
+        // A third failure exceeds N−1 and loses the page.
+        let owner2 = out.replicas[1];
+        let r3 = c.fail_blade(owner2);
+        assert_eq!(r3.lost.len(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_prefers_clean_pages_and_stalls_when_all_dirty() {
+        let mut c = CacheCluster::new(2, 2);
+        c.write(0, key(1), 1, Retention::Normal).unwrap();
+        c.write(0, key(2), 1, Retention::Normal).unwrap();
+        // Cache full of dirty pages: a third write stalls.
+        assert_eq!(c.write(0, key(3), 1, Retention::Normal), Err(CacheError::EvictionStall(0)));
+        // Destage one; the write now succeeds by evicting the clean page.
+        c.destage(key(1)).unwrap();
+        c.write(0, key(3), 1, Retention::Normal).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pooled_capacity_grows_with_blades() {
+        let small = CacheCluster::new(2, 100);
+        let big = CacheCluster::new(8, 100);
+        assert_eq!(small.pooled_capacity(), 200);
+        assert_eq!(big.pooled_capacity(), 800);
+    }
+
+    #[test]
+    fn reads_to_down_blade_fail() {
+        let mut c = CacheCluster::new(2, 4);
+        c.fail_blade(1);
+        assert_eq!(c.read(1, key(1)), Err(CacheError::BladeDown(1)));
+        c.repair_blade(1);
+        assert!(c.read(1, key(1)).is_ok());
+    }
+
+    #[test]
+    fn failed_holder_does_not_serve_remote_hits() {
+        let mut c = CacheCluster::new(3, 8);
+        c.fill(1, key(4), Retention::Normal).unwrap();
+        c.fail_blade(1);
+        assert_eq!(c.read(0, key(4)).unwrap(), ReadOutcome::Miss, "holder is down; must go to disk");
+    }
+
+    #[test]
+    fn stats_account_hits_and_misses() {
+        let mut c = CacheCluster::new(2, 8);
+        c.read(0, key(1)).unwrap(); // miss
+        c.fill(0, key(1), Retention::Normal).unwrap();
+        c.read(0, key(1)).unwrap(); // local
+        c.read(1, key(1)).unwrap(); // remote
+        let s = c.stats();
+        assert_eq!((s.misses, s.local_hits, s.remote_hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn rewrite_same_page_refreshes_replicas() {
+        let mut c = CacheCluster::new(4, 16);
+        let w1 = c.write(0, key(6), 2, Retention::Normal).unwrap();
+        let w2 = c.write(0, key(6), 2, Retention::Normal).unwrap();
+        assert_eq!(w2.version, w1.version + 1);
+        c.check_invariants().unwrap();
+        // Still exactly one replica set.
+        let e = c.directory().get(&key(6)).unwrap();
+        assert_eq!(e.replicas.len(), 1);
+        assert_eq!(e.version, w2.version);
+    }
+}

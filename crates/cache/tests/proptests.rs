@@ -1,0 +1,106 @@
+//! Property tests: the coherence invariants hold under arbitrary operation
+//! sequences, and dirty data survives any N−1 blade failures.
+
+use proptest::prelude::*;
+use ys_cache::{CacheCluster, PageKey, ReadOutcome, Retention};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { blade: u8, page: u8 },
+    Write { blade: u8, page: u8, n_way: u8 },
+    Destage { page: u8 },
+    Fail { blade: u8 },
+    Repair { blade: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(blade, page)| Op::Read { blade, page }),
+        (any::<u8>(), any::<u8>(), 1u8..4).prop_map(|(blade, page, n_way)| Op::Write { blade, page, n_way }),
+        any::<u8>().prop_map(|page| Op::Destage { page }),
+        any::<u8>().prop_map(|blade| Op::Fail { blade }),
+        any::<u8>().prop_map(|blade| Op::Repair { blade }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold after every operation in any sequence, including
+    /// failures and repairs.
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let blades = 5usize;
+        let mut c = CacheCluster::new(blades, 8);
+        for op in ops {
+            match op {
+                Op::Read { blade, page } => {
+                    let b = blade as usize % blades;
+                    let key = PageKey::new(0, (page % 32) as u64);
+                    if let Ok(ReadOutcome::Miss) = c.read(b, key) {
+                        let _ = c.fill(b, key, Retention::Normal);
+                    }
+                }
+                Op::Write { blade, page, n_way } => {
+                    let b = blade as usize % blades;
+                    let key = PageKey::new(0, (page % 32) as u64);
+                    let _ = c.write(b, key, n_way as usize, Retention::Normal);
+                }
+                Op::Destage { page } => {
+                    let key = PageKey::new(0, (page % 32) as u64);
+                    let _ = c.destage(key);
+                }
+                Op::Fail { blade } => {
+                    let _ = c.fail_blade(blade as usize % blades);
+                }
+                Op::Repair { blade } => {
+                    c.repair_blade(blade as usize % blades);
+                }
+            }
+            c.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// With N-way replication, killing any N−1 blades never loses a dirty
+    /// page; versions survive intact.
+    #[test]
+    fn n_way_survives_any_n_minus_1_failures(
+        n_way in 2usize..5,
+        kill_order in proptest::collection::vec(any::<u8>(), 1..4),
+        page in any::<u8>(),
+    ) {
+        let blades = 6usize;
+        let mut c = CacheCluster::new(blades, 16);
+        let key = PageKey::new(1, page as u64);
+        let out = c.write(0, key, n_way, Retention::Normal).unwrap();
+        prop_assume!(out.replicas.len() == n_way - 1);
+
+        // Kill up to n_way - 1 distinct blades (any blades at all).
+        let mut killed = std::collections::HashSet::new();
+        for k in kill_order.iter().take(n_way - 1) {
+            let b = *k as usize % blades;
+            if killed.insert(b) {
+                let report = c.fail_blade(b);
+                prop_assert!(report.lost.is_empty(), "lost dirty data after {} failures", killed.len());
+            }
+        }
+        c.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Reads return the latest written version: after a write, any reader
+    /// observes the directory version of that write (monotonicity).
+    #[test]
+    fn versions_are_monotonic(writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..50)) {
+        let blades = 4usize;
+        let mut c = CacheCluster::new(blades, 64);
+        let mut last_version = std::collections::HashMap::new();
+        for (blade, page) in writes {
+            let b = blade as usize % blades;
+            let key = PageKey::new(0, (page % 16) as u64);
+            let out = c.write(b, key, 2, Retention::Normal).unwrap();
+            if let Some(prev) = last_version.insert(key, out.version) {
+                prop_assert!(out.version > prev, "version regressed");
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Cluster configuration: the knobs every experiment sweeps.
+
+use ys_simcore::time::{Bandwidth, SimDuration};
+use ys_simdisk::DiskSpec;
+use ys_raid::RaidLevel;
+
+/// How incoming requests are spread over controller blades.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadBalance {
+    /// Rotate across up blades — the paper's load-balanced pool (§2.2).
+    RoundRobin,
+    /// Route by page hash: maximizes local cache affinity while still
+    /// spreading load.
+    PageAffinity,
+    /// Pin each volume to one blade — the traditional "islands" model the
+    /// paper argues against; used by the baseline and the E5 ablation.
+    PinnedByVolume,
+}
+
+/// Per-blade compute/copy cost model (era-calibrated).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Fixed software-path cost per I/O command on a blade.
+    pub per_io: SimDuration,
+    /// Cache-memory copy bandwidth per blade.
+    pub cache_copy: Bandwidth,
+    /// Encryption cost per byte when done in software.
+    pub sw_crypt_ns_per_byte: f64,
+    /// Encryption cost per byte with the optional hardware engine (§5.1).
+    pub hw_crypt_ns_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            per_io: SimDuration::from_micros(30),
+            // ~1.6 GB/s era memory copy
+            cache_copy: Bandwidth::from_mbyte_per_sec(1600),
+            sw_crypt_ns_per_byte: ys_security::SW_NS_PER_BYTE,
+            hw_crypt_ns_per_byte: ys_security::HW_NS_PER_BYTE,
+        }
+    }
+}
+
+/// Encryption deployment options (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EncryptionConfig {
+    pub at_rest: bool,
+    pub in_transit: bool,
+    pub hardware_assist: bool,
+}
+
+impl EncryptionConfig {
+    pub fn off() -> EncryptionConfig {
+        EncryptionConfig { at_rest: false, in_transit: false, hardware_assist: false }
+    }
+
+    pub fn full_hw() -> EncryptionConfig {
+        EncryptionConfig { at_rest: true, in_transit: true, hardware_assist: true }
+    }
+
+    pub fn full_sw() -> EncryptionConfig {
+        EncryptionConfig { at_rest: true, in_transit: true, hardware_assist: false }
+    }
+}
+
+/// One RAID group: a set of member disks under one personality. The §4
+/// per-file RAID override works by the cluster exposing several groups
+/// (e.g. RAID-5 capacity, RAID-1 fast, RAID-0 scratch) and the file system
+/// placing each file's extents on a volume in the matching group.
+#[derive(Clone, Copy, Debug)]
+pub struct RaidGroupSpec {
+    pub level: RaidLevel,
+    pub disks: usize,
+    pub chunk: u64,
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    pub blades: usize,
+    /// Cache capacity per blade, in pages.
+    pub cache_pages_per_blade: usize,
+    /// Cache page size in bytes.
+    pub page_bytes: u64,
+    /// Member disks of the *primary* RAID group (group 0).
+    pub disks: usize,
+    pub disk_spec: DiskSpec,
+    /// Personality of the primary group.
+    pub raid: RaidLevel,
+    pub raid_chunk: u64,
+    /// Additional RAID groups (their disks extend the farm beyond `disks`).
+    pub extra_groups: Vec<RaidGroupSpec>,
+    /// Physical-pool extent size for virtualization.
+    pub extent_bytes: u64,
+    /// Default N-way write replication (overridable per file, §6.1).
+    pub default_write_copies: usize,
+    pub load_balance: LoadBalance,
+    pub encryption: EncryptionConfig,
+    pub cost: CostModel,
+    /// Host clients attached to the host-side fabric.
+    pub clients: usize,
+    /// Pages to read ahead when sequential access is detected (0 = off) —
+    /// §4's "storage prefetch operations".
+    pub prefetch_pages: usize,
+    /// Whether a blade may be supplied from a peer blade's cache (§2.2's
+    /// coherent pool). `false` is the ablation: every non-local page is
+    /// fetched from disk, as in partitioned controllers.
+    pub remote_cache_supply: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            blades: 4,
+            cache_pages_per_blade: 4096, // 256 MiB at 64 KiB pages
+            page_bytes: 64 * 1024,
+            disks: 16,
+            disk_spec: DiskSpec::cheetah_73(),
+            raid: RaidLevel::Raid5,
+            raid_chunk: 64 * 1024,
+            extra_groups: Vec::new(),
+            extent_bytes: 1 << 20,
+            default_write_copies: 2,
+            load_balance: LoadBalance::RoundRobin,
+            encryption: EncryptionConfig::off(),
+            cost: CostModel::default(),
+            clients: 8,
+            prefetch_pages: 0,
+            remote_cache_supply: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn with_blades(mut self, n: usize) -> ClusterConfig {
+        self.blades = n;
+        self
+    }
+
+    pub fn with_disks(mut self, n: usize) -> ClusterConfig {
+        self.disks = n;
+        self
+    }
+
+    pub fn with_clients(mut self, n: usize) -> ClusterConfig {
+        self.clients = n;
+        self
+    }
+
+    pub fn with_raid(mut self, level: RaidLevel) -> ClusterConfig {
+        self.raid = level;
+        self
+    }
+
+    pub fn with_cache_pages(mut self, pages: usize) -> ClusterConfig {
+        self.cache_pages_per_blade = pages;
+        self
+    }
+
+    pub fn with_load_balance(mut self, lb: LoadBalance) -> ClusterConfig {
+        self.load_balance = lb;
+        self
+    }
+
+    pub fn with_encryption(mut self, e: EncryptionConfig) -> ClusterConfig {
+        self.encryption = e;
+        self
+    }
+
+    pub fn with_write_copies(mut self, n: usize) -> ClusterConfig {
+        self.default_write_copies = n;
+        self
+    }
+
+    pub fn with_prefetch(mut self, pages: usize) -> ClusterConfig {
+        self.prefetch_pages = pages;
+        self
+    }
+
+    /// Ablation: disable peer-cache supply (partitioned-controller timing).
+    pub fn without_remote_supply(mut self) -> ClusterConfig {
+        self.remote_cache_supply = false;
+        self
+    }
+
+    /// Add a secondary RAID group (its disks extend the farm).
+    pub fn with_extra_group(mut self, level: RaidLevel, disks: usize, chunk: u64) -> ClusterConfig {
+        self.extra_groups.push(RaidGroupSpec { level, disks, chunk });
+        self
+    }
+
+    /// All groups in order (group 0 = the primary fields).
+    pub fn group_specs(&self) -> Vec<RaidGroupSpec> {
+        let mut v = vec![RaidGroupSpec { level: self.raid, disks: self.disks, chunk: self.raid_chunk }];
+        v.extend(self.extra_groups.iter().copied());
+        v
+    }
+
+    /// Total disks across every group.
+    pub fn total_disks(&self) -> usize {
+        self.group_specs().iter().map(|g| g.disks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = ClusterConfig::default()
+            .with_blades(8)
+            .with_disks(32)
+            .with_write_copies(3)
+            .with_load_balance(LoadBalance::PageAffinity);
+        assert_eq!(c.blades, 8);
+        assert_eq!(c.disks, 32);
+        assert_eq!(c.default_write_copies, 3);
+        assert_eq!(c.load_balance, LoadBalance::PageAffinity);
+    }
+
+    #[test]
+    fn default_is_a_plausible_2001_machine() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.page_bytes * c.cache_pages_per_blade as u64, 256 << 20, "256 MiB per blade");
+        assert!(c.disks >= 8);
+    }
+}

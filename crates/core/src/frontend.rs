@@ -1,0 +1,342 @@
+//! Protocol front-ends (§8): the blades speak the network's languages
+//! directly — a SCSI-style block target and an NFS-style file server, both
+//! dispatching real wire frames onto the pool with LUN masking and
+//! security checks in the path.
+//!
+//! "The storage system would need to communicate directly with the
+//! network ... connectivity between the controller blades and the hosts
+//! over non-traditional networks such as IP or Infiniband encapsulated as
+//! SCSI, NAS, VI ..."
+
+use crate::cluster::BladeCluster;
+use crate::netstorage::{NetError, NetStorage};
+use bytes::Bytes;
+use ys_cache::Retention;
+use ys_geo::SiteId;
+use ys_pfs::FilePolicy;
+use ys_proto::{block, file, BlockCmd, BlockStatus, FileOp};
+use ys_security::{AuditEvent, AuditLog, InitiatorId, LunMask};
+use ys_simcore::time::SimTime;
+use ys_virt::VolumeId;
+
+/// Result of one block command: completion time + SCSI-style status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockReply {
+    pub status: BlockStatus,
+    pub done: SimTime,
+}
+
+/// Per-target statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TargetStats {
+    pub commands: u64,
+    pub denied: u64,
+    pub errors: u64,
+    pub bytes: u64,
+}
+
+/// The block target: decodes frames, enforces the mask, executes on the
+/// cluster, audits denials.
+pub struct BlockTarget {
+    pub mask: LunMask,
+    pub audit: AuditLog,
+    pub stats: TargetStats,
+    write_copies: usize,
+}
+
+impl BlockTarget {
+    pub fn new(write_copies: usize) -> BlockTarget {
+        BlockTarget { mask: LunMask::new(), audit: AuditLog::new(), stats: TargetStats::default(), write_copies }
+    }
+
+    /// LUNs visible to an initiator (the `ReportLuns` answer — masked LUNs
+    /// simply do not exist for it).
+    pub fn report_luns(&self, initiator: InitiatorId) -> Vec<VolumeId> {
+        self.mask.visible_volumes(initiator)
+    }
+
+    /// Handle one wire frame from `initiator` at `now`.
+    pub fn handle(
+        &mut self,
+        cluster: &mut BladeCluster,
+        initiator: InitiatorId,
+        client: usize,
+        now: SimTime,
+        frame: Bytes,
+    ) -> BlockReply {
+        self.stats.commands += 1;
+        let cmd = match block::decode(frame) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.errors += 1;
+                return BlockReply { status: BlockStatus::TargetFailure, done: now };
+            }
+        };
+        let check = |this: &mut Self, vol: VolumeId| -> Result<(), BlockReply> {
+            match this.mask.check_access(initiator, vol) {
+                Ok(()) => Ok(()),
+                Err(v) => {
+                    this.stats.denied += 1;
+                    this.audit.record(now, AuditEvent::Violation(v));
+                    Err(BlockReply { status: BlockStatus::AccessDenied, done: now })
+                }
+            }
+        };
+        match cmd {
+            BlockCmd::Read { lun, lba, sectors } => {
+                let vol = VolumeId(lun);
+                if let Err(r) = check(self, vol) {
+                    return r;
+                }
+                let bytes = sectors as u64 * block::SECTOR;
+                match cluster.read(now, client, vol, lba * block::SECTOR, bytes) {
+                    Ok(c) => {
+                        self.stats.bytes += bytes;
+                        BlockReply { status: BlockStatus::Good, done: c.done }
+                    }
+                    Err(crate::cluster::ClusterError::Virt(ys_virt::VirtError::OutOfRange { .. })) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::LbaOutOfRange, done: now }
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::TargetFailure, done: now }
+                    }
+                }
+            }
+            BlockCmd::Write { lun, lba, sectors } => {
+                let vol = VolumeId(lun);
+                if let Err(r) = check(self, vol) {
+                    return r;
+                }
+                let bytes = sectors as u64 * block::SECTOR;
+                match cluster.write(now, client, vol, lba * block::SECTOR, bytes, self.write_copies, Retention::Normal)
+                {
+                    Ok(c) => {
+                        self.stats.bytes += bytes;
+                        BlockReply { status: BlockStatus::Good, done: c.done }
+                    }
+                    Err(crate::cluster::ClusterError::Virt(ys_virt::VirtError::OutOfRange { .. })) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::LbaOutOfRange, done: now }
+                    }
+                    Err(crate::cluster::ClusterError::Virt(ys_virt::VirtError::OutOfSpace(_))) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::SpaceExhausted, done: now }
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::TargetFailure, done: now }
+                    }
+                }
+            }
+            BlockCmd::Unmap { lun, lba, sectors } => {
+                let vol = VolumeId(lun);
+                if let Err(r) = check(self, vol) {
+                    return r;
+                }
+                let eb = cluster.config().extent_bytes;
+                let first = lba * block::SECTOR / eb;
+                let count = (sectors as u64 * block::SECTOR).div_ceil(eb);
+                match cluster.unmap_volume(vol, first, count) {
+                    Ok(_) => BlockReply { status: BlockStatus::Good, done: now },
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        BlockReply { status: BlockStatus::LbaOutOfRange, done: now }
+                    }
+                }
+            }
+            BlockCmd::ReportLuns | BlockCmd::Inquiry => BlockReply { status: BlockStatus::Good, done: now },
+        }
+    }
+}
+
+/// A file-protocol reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FileReply {
+    Ok { done: SimTime },
+    Ino { ino: u64, done: SimTime },
+    Entries { names: Vec<String>, done: SimTime },
+    Error(String),
+}
+
+/// The NAS head: decodes file-protocol frames and executes them against the
+/// global namespace at one site.
+pub struct FileServer {
+    pub site: SiteId,
+    pub stats: TargetStats,
+}
+
+impl FileServer {
+    pub fn new(site: SiteId) -> FileServer {
+        FileServer { site, stats: TargetStats::default() }
+    }
+
+    fn policy_preset(name: &str) -> FilePolicy {
+        match name {
+            "critical" => FilePolicy::critical(),
+            "scratch" => FilePolicy::scratch(),
+            _ => FilePolicy::default(),
+        }
+    }
+
+    /// Handle one wire frame from `client` at `now`.
+    pub fn handle(&mut self, ns: &mut NetStorage, client: usize, now: SimTime, frame: Bytes) -> FileReply {
+        self.stats.commands += 1;
+        let op = match file::decode(frame) {
+            Ok(o) => o,
+            Err(e) => {
+                self.stats.errors += 1;
+                return FileReply::Error(e.to_string());
+            }
+        };
+        let map_err = |this: &mut Self, e: NetError| {
+            this.stats.errors += 1;
+            FileReply::Error(e.to_string())
+        };
+        match op {
+            FileOp::Lookup { path } => match ns.fs.lookup(&path) {
+                Ok(ino) => FileReply::Ino { ino: ino.0, done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+            FileOp::Create { path } => match ns.create_file(&path, FilePolicy::default(), self.site) {
+                Ok(ino) => FileReply::Ino { ino: ino.0, done: now },
+                Err(e) => map_err(self, e),
+            },
+            FileOp::Mkdir { path } => match ns.fs.mkdir(&path, None) {
+                Ok(ino) => FileReply::Ino { ino: ino.0, done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+            FileOp::Read { ino, offset, len } => {
+                // Resolve ino → path-independent read via namespace lookup.
+                match ns.read_ino(now, self.site, client, ys_pfs::Ino(ino), offset, len) {
+                    Ok(c) => {
+                        self.stats.bytes += len;
+                        FileReply::Ok { done: c.done }
+                    }
+                    Err(e) => map_err(self, e),
+                }
+            }
+            FileOp::Write { ino, offset, len } => match ns.write_ino(now, self.site, client, ys_pfs::Ino(ino), offset, len) {
+                Ok(c) => {
+                    self.stats.bytes += len;
+                    FileReply::Ok { done: c.done }
+                }
+                Err(e) => map_err(self, e),
+            },
+            FileOp::Remove { path } => match ns.fs.unlink(&path) {
+                Ok(_) => FileReply::Ok { done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+            FileOp::Rename { from, to } => match ns.fs.rename(&from, &to) {
+                Ok(()) => FileReply::Ok { done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+            FileOp::GetAttr { path } => match ns.fs.stat(&path) {
+                Ok(st) => FileReply::Ino { ino: st.ino.0, done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+            FileOp::SetPolicy { path, preset } => {
+                let pol = Self::policy_preset(&preset);
+                match ns.fs.set_policy(&path, pol) {
+                    Ok(()) => FileReply::Ok { done: now },
+                    Err(e) => map_err(self, e.into()),
+                }
+            }
+            FileOp::ReadDir { path } => match ns.fs.readdir(&path) {
+                Ok(names) => FileReply::Entries { names, done: now },
+                Err(e) => map_err(self, e.into()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::netstorage::NetStorageConfig;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn block_target_full_cycle_with_masking() {
+        let mut cluster = BladeCluster::new(ClusterConfig::default().with_blades(2).with_disks(8).with_clients(2));
+        let vol = cluster.create_volume("lun0", 1, 1 << 30).unwrap();
+        let mut target = BlockTarget::new(2);
+        let host = InitiatorId(1);
+        target.mask.grant(host, vol);
+        assert_eq!(target.report_luns(host), vec![vol]);
+        assert!(target.report_luns(InitiatorId(9)).is_empty());
+
+        let w = target.handle(&mut cluster, host, 0, SimTime::ZERO,
+            block::encode(&BlockCmd::Write { lun: 0, lba: 0, sectors: 256 }));
+        assert_eq!(w.status, BlockStatus::Good);
+        let r = target.handle(&mut cluster, host, 0, w.done,
+            block::encode(&BlockCmd::Read { lun: 0, lba: 0, sectors: 256 }));
+        assert_eq!(r.status, BlockStatus::Good);
+        assert_eq!(target.stats.bytes, 2 * 256 * 512);
+
+        // Foreign initiator denied and audited.
+        let d = target.handle(&mut cluster, InitiatorId(9), 0, r.done,
+            block::encode(&BlockCmd::Read { lun: 0, lba: 0, sectors: 8 }));
+        assert_eq!(d.status, BlockStatus::AccessDenied);
+        assert_eq!(target.stats.denied, 1);
+        assert_eq!(target.audit.violations().count(), 1);
+
+        // Out of range maps to the right status.
+        let oor = target.handle(&mut cluster, host, 0, r.done,
+            block::encode(&BlockCmd::Write { lun: 0, lba: u64::MAX / 1024, sectors: 8 }));
+        assert_eq!(oor.status, BlockStatus::LbaOutOfRange);
+    }
+
+    #[test]
+    fn garbage_frames_get_target_failure() {
+        let mut cluster = BladeCluster::new(ClusterConfig::default().with_blades(2).with_disks(8));
+        let mut target = BlockTarget::new(1);
+        let r = target.handle(&mut cluster, InitiatorId(1), 0, SimTime::ZERO, Bytes::from_static(&[0xFF, 1, 2]));
+        assert_eq!(r.status, BlockStatus::TargetFailure);
+        assert_eq!(target.stats.errors, 1);
+    }
+
+    #[test]
+    fn file_server_runs_a_session_over_the_wire() {
+        let mut ns = NetStorage::new(NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            ..NetStorageConfig::default()
+        });
+        let mut srv = FileServer::new(SiteId(0));
+        let t = SimTime::ZERO;
+        let send = |srv: &mut FileServer, ns: &mut NetStorage, t: SimTime, op: &FileOp| {
+            srv.handle(ns, 0, t, file::encode(op))
+        };
+        assert!(matches!(send(&mut srv, &mut ns, t, &FileOp::Mkdir { path: "/exp".into() }), FileReply::Ino { .. }));
+        let ino = match send(&mut srv, &mut ns, t, &FileOp::Create { path: "/exp/data".into() }) {
+            FileReply::Ino { ino, .. } => ino,
+            other => panic!("{other:?}"),
+        };
+        let w = match send(&mut srv, &mut ns, t, &FileOp::Write { ino, offset: 0, len: MB }) {
+            FileReply::Ok { done } => done,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            send(&mut srv, &mut ns, w, &FileOp::Read { ino, offset: 0, len: MB }),
+            FileReply::Ok { .. }
+        ));
+        assert!(matches!(
+            send(&mut srv, &mut ns, w, &FileOp::SetPolicy { path: "/exp/data".into(), preset: "critical".into() }),
+            FileReply::Ok { .. }
+        ));
+        assert_eq!(ns.fs.stat("/exp/data").unwrap().policy, FilePolicy::critical());
+        match send(&mut srv, &mut ns, w, &FileOp::ReadDir { path: "/exp".into() }) {
+            FileReply::Entries { names, .. } => assert_eq!(names, vec!["data"]),
+            other => panic!("{other:?}"),
+        }
+        // Errors are replies, not panics.
+        assert!(matches!(
+            send(&mut srv, &mut ns, w, &FileOp::Remove { path: "/nope".into() }),
+            FileReply::Error(_)
+        ));
+        assert_eq!(srv.stats.bytes, 2 * MB);
+    }
+}

@@ -1,0 +1,37 @@
+//! `ys-core` — the paper's system: YottaYotta-style *NetStorage*, a storage
+//! machine built as a distributed-memory parallel computer of controller
+//! blades, reproduced over deterministic simulated hardware.
+//!
+//! * [`config`] — cluster configuration and the era cost model;
+//! * [`cluster`] — [`BladeCluster`]: the single-site data path — pooled
+//!   coherent cache, N-way write-back replication, DMSD virtualization,
+//!   RAID destage, load balancing, blade/disk failures (§2, §3, §6);
+//! * [`fastpath`] — the Figure 1 high-speed striped stream engine (§2.3, §8);
+//! * [`rebuild`] — distributed, fault-tolerant RAID rebuild (§2.4, §6.3);
+//! * [`services`] — load-balanced PIT-copy/backup services (§2.4);
+//! * [`legacy`] — the traditional dual-controller baseline array the paper
+//!   argues against;
+//! * [`netstorage`] — [`NetStorage`]: multiple sites as one data image,
+//!   policy-driven geographic replication, migration, disaster recovery (§7).
+
+pub mod admin;
+pub mod cluster;
+pub mod config;
+pub mod fastpath;
+pub mod frontend;
+pub mod legacy;
+pub mod netstorage;
+pub mod rebuild;
+pub mod scenario;
+pub mod services;
+
+pub use admin::{AdminError, AdminOp, AdminOutcome, ManagementPlane};
+pub use cluster::{BladeCluster, ClusterError, ClusterStats, Completion, RaidGroup, ServedFrom};
+pub use config::{ClusterConfig, CostModel, EncryptionConfig, LoadBalance};
+pub use fastpath::{deliver_stream, FastPathConfig, StreamResult};
+pub use frontend::{BlockReply, BlockTarget, FileReply, FileServer, TargetStats};
+pub use legacy::{LegacyArray, LegacyConfig, LegacyMode, LegacyStats};
+pub use netstorage::{DisasterReport, GeoStats, NetError, NetStorage, NetStorageConfig, SiteReport, SystemReport};
+pub use rebuild::Rebuilder;
+pub use scenario::{run_scenario, ScenarioResult};
+pub use services::{run_service, ServiceJob, ServiceResult};

@@ -1,0 +1,633 @@
+//! The NetStorage facade: multiple blade-cluster sites managed as a single
+//! data image (§7) — one global namespace, policy-driven geographic
+//! replication, first-reference migration with local performance
+//! thereafter, and real-time disaster recovery.
+
+use crate::cluster::{BladeCluster, ClusterError, Completion};
+use crate::config::ClusterConfig;
+use ys_geo::{place, AccessKind, DistributedAccess, Placement, ReplicationEngine, SiteId, SiteTopology};
+use ys_pfs::{FileExtent, FilePolicy, FileSystem, FsError, Ino};
+use ys_simcore::stats::LatencyHisto;
+use ys_simcore::time::{SimDuration, SimTime};
+use ys_simnet::Link;
+use ys_virt::VolumeId;
+
+/// Multi-site configuration.
+#[derive(Clone, Debug)]
+pub struct NetStorageConfig {
+    /// Per-site cluster hardware (identical sites, as labs deploy).
+    pub site_cluster: ClusterConfig,
+    pub topology: SiteTopology,
+    /// PFS stripe unit.
+    pub stripe_unit: u64,
+    /// Heat half-life for §7.1 auto-replication.
+    pub heat_half_life_secs: f64,
+    pub hot_threshold: f64,
+}
+
+impl Default for NetStorageConfig {
+    fn default() -> NetStorageConfig {
+        NetStorageConfig {
+            site_cluster: ClusterConfig::default(),
+            topology: SiteTopology::national_lab(),
+            stripe_unit: 1 << 20,
+            heat_half_life_secs: 300.0,
+            hot_threshold: 3.0,
+        }
+    }
+}
+
+/// Errors from the facade.
+#[derive(Debug)]
+pub enum NetError {
+    Fs(FsError),
+    Cluster(ClusterError),
+    Placement(ys_geo::PlacementError),
+    FileUnavailable(Ino),
+    SiteDown(SiteId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Fs(e) => write!(f, "fs: {e}"),
+            NetError::Cluster(e) => write!(f, "cluster: {e}"),
+            NetError::Placement(e) => write!(f, "placement: {e}"),
+            NetError::FileUnavailable(i) => write!(f, "file {i:?} unavailable (no surviving copy)"),
+            NetError::SiteDown(s) => write!(f, "site {s:?} is down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<FsError> for NetError {
+    fn from(e: FsError) -> Self {
+        NetError::Fs(e)
+    }
+}
+
+impl From<ClusterError> for NetError {
+    fn from(e: ClusterError) -> Self {
+        NetError::Cluster(e)
+    }
+}
+
+impl From<ys_geo::PlacementError> for NetError {
+    fn from(e: ys_geo::PlacementError) -> Self {
+        NetError::Placement(e)
+    }
+}
+
+/// Multi-site statistics.
+#[derive(Clone, Debug, Default)]
+pub struct GeoStats {
+    pub local_read_latency: LatencyHisto,
+    pub remote_first_reference_latency: LatencyHisto,
+    pub migrations: u64,
+    pub auto_replications: u64,
+    pub sync_replica_writes: u64,
+    pub async_writes_enqueued: u64,
+    pub async_writes_shipped: u64,
+}
+
+/// Disaster-recovery report after a site failure.
+#[derive(Clone, Debug, Default)]
+pub struct DisasterReport {
+    /// Files whose only copy lived at the failed site.
+    pub files_lost: Vec<u64>,
+    /// Async journal entries destroyed before shipping (the loss window).
+    pub async_writes_lost: u64,
+}
+
+/// The geographically distributed storage system.
+pub struct NetStorage {
+    pub clusters: Vec<BladeCluster>,
+    pub topology: SiteTopology,
+    access: DistributedAccess,
+    repl: ReplicationEngine,
+    pub fs: FileSystem,
+    /// Queued WAN links per ordered site pair.
+    wan: Vec<Vec<Option<Link>>>,
+    files: Vec<Ino>,
+    pub stats: GeoStats,
+}
+
+impl NetStorage {
+    pub fn new(cfg: NetStorageConfig) -> NetStorage {
+        let nsites = cfg.topology.len();
+        let specs = cfg.site_cluster.group_specs();
+        let mut clusters = Vec::with_capacity(nsites);
+        let mut class_volumes: Vec<VolumeId> = Vec::new();
+        for site in 0..nsites {
+            let mut c = BladeCluster::new(cfg.site_cluster.clone());
+            // Volume 0 at every site backs the global namespace; identical
+            // layouts keep file extents addressable at any replica site.
+            let v = c.create_volume("fs", 0, 1 << 40).expect("fs volume");
+            debug_assert_eq!(v, VolumeId(0));
+            // One backing volume per additional RAID group, so §4's
+            // per-file RAID override has somewhere to place data.
+            for (gi, _spec) in specs.iter().enumerate().skip(1) {
+                let cv = c
+                    .create_volume_in(gi, &format!("fs-class{gi}"), 0, 1 << 40)
+                    .expect("class volume");
+                if site == 0 {
+                    class_volumes.push(cv);
+                }
+            }
+            clusters.push(c);
+        }
+        let mut wan = Vec::with_capacity(nsites);
+        for a in 0..nsites {
+            let mut row = Vec::with_capacity(nsites);
+            for b in 0..nsites {
+                row.push(if a == b {
+                    None
+                } else {
+                    cfg.topology.link(SiteId(a), SiteId(b)).map(Link::new)
+                });
+            }
+            wan.push(row);
+        }
+        let mut fs = FileSystem::new(vec![VolumeId(0)], cfg.stripe_unit);
+        for (spec, &vol) in specs.iter().skip(1).zip(&class_volumes) {
+            fs.add_storage_class(spec.level, vec![vol]);
+        }
+        NetStorage {
+            clusters,
+            access: DistributedAccess::new(cfg.heat_half_life_secs, cfg.hot_threshold),
+            repl: ReplicationEngine::new(),
+            fs,
+            wan,
+            topology: cfg.topology,
+            files: Vec::new(),
+            stats: GeoStats::default(),
+        }
+    }
+
+    fn wan_transfer(&mut self, now: SimTime, from: SiteId, to: SiteId, bytes: u64) -> Option<SimTime> {
+        self.topology.link(from, to)?;
+        self.wan[from.0][to.0].as_mut().map(|l| l.transfer(now, bytes).arrival)
+    }
+
+    /// Create a file homed at `site` with the given policy.
+    pub fn create_file(&mut self, path: &str, policy: FilePolicy, site: SiteId) -> Result<Ino, NetError> {
+        if !self.topology.site(site).up {
+            return Err(NetError::SiteDown(site));
+        }
+        let ino = self.fs.create(path, Some(policy))?;
+        self.access.set_home(ino.0, site);
+        self.files.push(ino);
+        Ok(ino)
+    }
+
+    fn write_extents_at(
+        &mut self,
+        site: SiteId,
+        now: SimTime,
+        client: usize,
+        extents: &[FileExtent],
+        copies: usize,
+        retention: ys_cache::Retention,
+    ) -> Result<SimTime, NetError> {
+        let mut done = now;
+        for e in extents {
+            let c = self.clusters[site.0].write(now, client, e.vol, e.voff, e.len, copies, retention)?;
+            done = done.max(c.done);
+        }
+        Ok(done)
+    }
+
+    /// Write `[offset, offset+len)` of `path` at `site`. Applies the file's
+    /// §4 policy: write-back copies, retention, and geographic replication
+    /// (sync replicas before ack; async enqueued).
+    pub fn write_file(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        client: usize,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Completion, NetError> {
+        let ino = self.fs.lookup(path)?;
+        self.write_ino(now, site, client, ino, offset, len)
+    }
+
+    /// [`NetStorage::write_file`] addressed by inode (the NAS head's path).
+    pub fn write_ino(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        client: usize,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+    ) -> Result<Completion, NetError> {
+        if !self.topology.site(site).up {
+            return Err(NetError::SiteDown(site));
+        }
+        let policy = self.fs.policy(ino).clone();
+        let extents = self.fs.write(ino, offset, len)?;
+        let local_done = self.write_extents_at(site, now, client, &extents, policy.write_back_copies, policy.retention)?;
+        // Residency: the writer holds the current data.
+        self.access.write(ino.0, site, now);
+        // Geographic replication per policy.
+        let placement: Placement = place(&self.topology, site, &policy.geo)?;
+        let mut ack = local_done;
+        for &s in &placement.sync_sites {
+            if let Some(arrival) = self.wan_transfer(now, site, s, len) {
+                let remote_done =
+                    self.write_extents_at(s, arrival, 0, &extents, policy.write_back_copies, policy.retention)?;
+                ack = ack.max(remote_done);
+                self.repl.record_sync(len);
+                self.stats.sync_replica_writes += 1;
+                self.access.set_home(ino.0, s);
+            }
+        }
+        for &s in &placement.async_sites {
+            self.repl.enqueue(site, s, ino.0, offset, len, now);
+            self.stats.async_writes_enqueued += 1;
+        }
+        Ok(Completion { done: ack, latency: ack.since(now) })
+    }
+
+    /// Read `[offset, offset+len)` of `path` at `site` — local speed when
+    /// resident, first-reference migration otherwise (§7.1).
+    pub fn read_file(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        client: usize,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Completion, NetError> {
+        let ino = self.fs.lookup(path)?;
+        self.read_ino(now, site, client, ino, offset, len)
+    }
+
+    /// [`NetStorage::read_file`] addressed by inode (the NAS head's path).
+    pub fn read_ino(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        client: usize,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+    ) -> Result<Completion, NetError> {
+        if !self.topology.site(site).up {
+            return Err(NetError::SiteDown(site));
+        }
+        let policy = self.fs.policy(ino).clone();
+        let extents = self.fs.read(ino, offset, len)?;
+        if extents.is_empty() {
+            // Pure hole: metadata-only round trip.
+            let done = now + SimDuration::from_micros(100);
+            return Ok(Completion { done, latency: done.since(now) });
+        }
+        match self.access.read(&self.topology, ino.0, site, now) {
+            AccessKind::Local => {
+                let mut done = now;
+                for e in &extents {
+                    let c = self.clusters[site.0].read(now, client, e.vol, e.voff, e.len)?;
+                    done = done.max(c.done);
+                }
+                let latency = done.since(now);
+                self.stats.local_read_latency.record(latency);
+                Ok(Completion { done, latency })
+            }
+            AccessKind::RemoteMigration { from } => {
+                // Source site reads the data out of its pool…
+                let mut src_done = now;
+                for e in &extents {
+                    let c = self.clusters[from.0].read(now, 0, e.vol, e.voff, e.len)?;
+                    src_done = src_done.max(c.done);
+                }
+                // …ships it over the WAN…
+                let arrival = self
+                    .wan_transfer(src_done, from, site, len)
+                    .ok_or(NetError::FileUnavailable(ino))?;
+                // …and the local site installs the copy (prefetch pipelines
+                // the remaining blocks; subsequent reads are local).
+                let installed =
+                    self.write_extents_at(site, arrival, client, &extents, 1, policy.retention)?;
+                self.stats.migrations += 1;
+                let latency = installed.since(now);
+                self.stats.remote_first_reference_latency.record(latency);
+                Ok(Completion { done: installed, latency })
+            }
+            AccessKind::Unavailable => Err(NetError::FileUnavailable(ino)),
+        }
+    }
+
+    /// Ship pending async replication, up to `budget_bytes` per site pair.
+    /// Returns the last delivery time.
+    pub fn ship_async(&mut self, now: SimTime, budget_bytes: u64) -> Result<SimTime, NetError> {
+        let nsites = self.topology.len();
+        let mut last = now;
+        for s in 0..nsites {
+            for d in 0..nsites {
+                if s == d {
+                    continue;
+                }
+                let (src, dst) = (SiteId(s), SiteId(d));
+                let records = self.repl.ship(src, dst, budget_bytes);
+                for rec in records {
+                    if let Some(arrival) = self.wan_transfer(now, src, dst, rec.len) {
+                        let ino = Ino(rec.file);
+                        let policy = self.fs.policy(ino).clone();
+                        let extents = self.fs.read(ino, rec.offset, rec.len)?;
+                        let done = self.write_extents_at(dst, arrival, 0, &extents, 1, policy.retention)?;
+                        self.access.set_home(rec.file, dst);
+                        self.stats.async_writes_shipped += 1;
+                        last = last.max(done);
+                    }
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// §7.1 automatic replication: push copies of multi-site-hot files.
+    pub fn run_auto_replication(&mut self, now: SimTime) -> Result<u64, NetError> {
+        let files = self.files.clone();
+        let mut pushed_total = 0;
+        for ino in files {
+            // Current holders supply the data; push to each hot non-holder.
+            let holders = self.access.sites_of(ino.0);
+            let Some(&src) = holders.first() else { continue };
+            let targets = self.access.auto_replicate(ino.0, now);
+            if targets.is_empty() {
+                continue;
+            }
+            let size = self.fs.size_of(ino).unwrap_or(0);
+            for t in targets {
+                if t == src {
+                    continue;
+                }
+                if size > 0 {
+                    if let Some(arrival) = self.wan_transfer(now, src, t, size) {
+                        let policy = self.fs.policy(ino).clone();
+                        let extents = self.fs.read(ino, 0, size)?;
+                        self.write_extents_at(t, arrival, 0, &extents, 1, policy.retention)?;
+                    }
+                }
+                self.stats.auto_replications += 1;
+                pushed_total += 1;
+            }
+        }
+        Ok(pushed_total)
+    }
+
+    /// Pending async backlog between two sites.
+    pub fn async_backlog(&self, src: SiteId, dst: SiteId) -> (u64, u64) {
+        self.repl.pending(src, dst)
+    }
+
+    /// Bytes that have crossed the WAN from `src` to `dst` (replication +
+    /// migrations) — the §7.2 network-cost metric.
+    pub fn wan_bytes(&self, src: SiteId, dst: SiteId) -> u64 {
+        self.wan[src.0][dst.0].as_ref().map(|l| l.bytes()).unwrap_or(0)
+    }
+
+    /// Total WAN bytes in every direction.
+    pub fn wan_bytes_total(&self) -> u64 {
+        self.wan
+            .iter()
+            .flatten()
+            .filter_map(|l| l.as_ref().map(|l| l.bytes()))
+            .sum()
+    }
+
+    /// Catastrophic site failure (§6.2's raison d'être).
+    pub fn fail_site(&mut self, site: SiteId) -> DisasterReport {
+        self.topology.fail_site(site);
+        let lost_async = self.repl.source_cut(site).len() as u64;
+        let files_lost = self.access.fail_site(site);
+        DisasterReport { files_lost, async_writes_lost: lost_async }
+    }
+
+    pub fn repair_site(&mut self, site: SiteId) {
+        self.topology.repair_site(site);
+    }
+
+    /// Where a file currently has copies.
+    pub fn residency(&self, ino: Ino) -> Vec<SiteId> {
+        self.access.sites_of(ino.0)
+    }
+
+    /// §7.3: "the system would be managed as one large system" — a single
+    /// inventory across every site for the (possibly distributed) IT team.
+    pub fn system_report(&self, now: SimTime) -> SystemReport {
+        let mut sites = Vec::new();
+        for (i, c) in self.clusters.iter().enumerate() {
+            let sid = SiteId(i);
+            let blades_up = (0..c.config().blades).filter(|&b| c.cache.blade_up(b)).count();
+            let disks_up = c.farm.healthy_disks().count();
+            let outbound_backlog: u64 = (0..self.clusters.len())
+                .filter(|&d| d != i)
+                .map(|d| self.repl.pending(sid, SiteId(d)).1)
+                .sum();
+            sites.push(SiteReport {
+                site: sid,
+                name: self.topology.site(sid).name.clone(),
+                up: self.topology.site(sid).up,
+                blades_up,
+                blades_total: c.config().blades,
+                disks_up,
+                disks_total: c.farm.len(),
+                pool_used_bytes: c.pool_used_bytes(),
+                dirty_pages_lost: c.stats.dirty_pages_lost,
+                async_backlog_bytes: outbound_backlog,
+            });
+        }
+        SystemReport { at: now, files: self.files.len(), sites }
+    }
+}
+
+/// One site's line in the §7.3 single-system view.
+#[derive(Clone, Debug)]
+pub struct SiteReport {
+    pub site: SiteId,
+    pub name: String,
+    pub up: bool,
+    pub blades_up: usize,
+    pub blades_total: usize,
+    pub disks_up: usize,
+    pub disks_total: usize,
+    pub pool_used_bytes: u64,
+    pub dirty_pages_lost: u64,
+    pub async_backlog_bytes: u64,
+}
+
+/// The whole distributed operation, as one report.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    pub at: SimTime,
+    pub files: usize,
+    pub sites: Vec<SiteReport>,
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "NetStorage system report at t={} ({} files)", self.at, self.files)?;
+        for s in &self.sites {
+            writeln!(
+                f,
+                "  [{}] {:<12} {}  blades {}/{}  disks {}/{}  pool {} MiB  backlog {} KiB  lost {}",
+                s.site.0,
+                s.name,
+                if s.up { "UP  " } else { "DOWN" },
+                s.blades_up,
+                s.blades_total,
+                s.disks_up,
+                s.disks_total,
+                s.pool_used_bytes >> 20,
+                s.async_backlog_bytes >> 10,
+                s.dirty_pages_lost,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ys_pfs::GeoPolicy;
+
+    fn small_sites() -> NetStorageConfig {
+        NetStorageConfig {
+            site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
+            ..NetStorageConfig::default()
+        }
+    }
+
+    const S0: SiteId = SiteId(0);
+    const S1: SiteId = SiteId(1);
+    const S2: SiteId = SiteId(2);
+
+    #[test]
+    fn sync_policy_pays_wan_latency_on_write() {
+        let mut ns = NetStorage::new(small_sites());
+        let mut pol = FilePolicy::default();
+        pol.geo = GeoPolicy::sync(2);
+        ns.create_file("/sync.dat", pol, S0).unwrap();
+        let mut pol_none = FilePolicy::default();
+        pol_none.geo = GeoPolicy::none();
+        ns.create_file("/local.dat", pol_none, S0).unwrap();
+
+        let w_sync = ns.write_file(SimTime::ZERO, S0, 0, "/sync.dat", 0, 1 << 20).unwrap();
+        let w_local = ns.write_file(w_sync.done, S0, 0, "/local.dat", 0, 1 << 20).unwrap();
+        assert!(
+            w_sync.latency > w_local.latency,
+            "sync replication {} must exceed local {}",
+            w_sync.latency,
+            w_local.latency
+        );
+        assert_eq!(ns.stats.sync_replica_writes, 1);
+    }
+
+    #[test]
+    fn async_policy_acks_locally_and_ships_later() {
+        let mut ns = NetStorage::new(small_sites());
+        let mut pol = FilePolicy::default();
+        pol.geo = GeoPolicy::async_(2);
+        ns.create_file("/async.dat", pol, S0).unwrap();
+        // Same-size file replicated synchronously to the far (regional)
+        // site, for comparison: async must ack well before sync.
+        let mut sync_pol = FilePolicy::default();
+        sync_pol.geo = ys_pfs::GeoPolicy {
+            mode: ys_pfs::GeoMode::Synchronous,
+            site_copies: 2,
+            min_distance_km: 500.0,
+            preferred_sites: vec![],
+        };
+        ns.create_file("/sync_far.dat", sync_pol, S0).unwrap();
+        let w = ns.write_file(SimTime::ZERO, S0, 0, "/async.dat", 0, 1 << 20).unwrap();
+        let ws = ns.write_file(w.done, S0, 0, "/sync_far.dat", 0, 1 << 20).unwrap();
+        assert!(
+            w.latency + SimDuration::from_millis(5) < ws.latency,
+            "async ack {} must beat far-sync ack {}",
+            w.latency,
+            ws.latency
+        );
+        let backlog = ns.async_backlog(S0, S1);
+        assert_eq!(backlog.0, 1, "one journal entry pending");
+        ns.ship_async(w.done, u64::MAX).unwrap();
+        assert_eq!(ns.async_backlog(S0, S1).0, 0);
+        assert_eq!(ns.stats.async_writes_shipped, 1);
+    }
+
+    #[test]
+    fn first_reference_migrates_then_local_speed() {
+        let mut ns = NetStorage::new(small_sites());
+        ns.create_file("/data.h5", FilePolicy::default(), S0).unwrap();
+        let w = ns.write_file(SimTime::ZERO, S0, 0, "/data.h5", 0, 4 << 20).unwrap();
+        // First read from the continental site: pays WAN.
+        let r1 = ns.read_file(w.done, S2, 0, "/data.h5", 0, 4 << 20).unwrap();
+        // Second read: local.
+        let r2 = ns.read_file(r1.done, S2, 0, "/data.h5", 0, 4 << 20).unwrap();
+        assert!(
+            r1.latency > r2.latency * 2,
+            "first reference {} should dwarf subsequent local {}",
+            r1.latency,
+            r2.latency
+        );
+        assert_eq!(ns.stats.migrations, 1);
+        assert!(ns.residency(ns.fs.lookup("/data.h5").unwrap()).contains(&S2));
+    }
+
+    #[test]
+    fn site_loss_with_sync_replica_loses_nothing() {
+        let mut ns = NetStorage::new(small_sites());
+        let mut pol = FilePolicy::default();
+        pol.geo = GeoPolicy::sync(2);
+        ns.create_file("/critical.db", pol, S0).unwrap();
+        let w = ns.write_file(SimTime::ZERO, S0, 0, "/critical.db", 0, 1 << 20).unwrap();
+        let report = ns.fail_site(S0);
+        assert!(report.files_lost.is_empty(), "sync replica at S1 preserves the file");
+        // Still readable at the replica site.
+        let r = ns.read_file(w.done, S1, 0, "/critical.db", 0, 1 << 20);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn site_loss_with_unshipped_async_has_a_loss_window() {
+        let mut ns = NetStorage::new(small_sites());
+        let mut pol = FilePolicy::default();
+        pol.geo = GeoPolicy::async_(2);
+        ns.create_file("/bulk.dat", pol, S0).unwrap();
+        for i in 0..5u64 {
+            ns.write_file(SimTime(i * 1000), S0, 0, "/bulk.dat", i << 20, 1 << 20).unwrap();
+        }
+        // Nothing shipped yet; the site dies.
+        let report = ns.fail_site(S0);
+        assert_eq!(report.async_writes_lost, 5, "entire unshipped journal is the loss window");
+        assert_eq!(report.files_lost, vec![ns.fs.lookup("/bulk.dat").unwrap().0]);
+    }
+
+    #[test]
+    fn unreplicated_file_dies_with_its_site() {
+        let mut ns = NetStorage::new(small_sites());
+        ns.create_file("/scratch.tmp", FilePolicy::scratch(), S0).unwrap();
+        ns.write_file(SimTime::ZERO, S0, 0, "/scratch.tmp", 0, 1 << 20).unwrap();
+        let report = ns.fail_site(S0);
+        assert_eq!(report.files_lost.len(), 1);
+        let err = ns.read_file(SimTime(1), S1, 0, "/scratch.tmp", 0, 1 << 20);
+        assert!(matches!(err, Err(NetError::FileUnavailable(_))));
+    }
+
+    #[test]
+    fn writes_at_down_site_are_rejected() {
+        let mut ns = NetStorage::new(small_sites());
+        ns.create_file("/f", FilePolicy::default(), S0).unwrap();
+        ns.fail_site(S1);
+        assert!(matches!(
+            ns.write_file(SimTime::ZERO, S1, 0, "/f", 0, 4096),
+            Err(NetError::SiteDown(_))
+        ));
+    }
+}

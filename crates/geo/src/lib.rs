@@ -1,0 +1,23 @@
+//! `ys-geo` — geographically distributed storage (§6.2, §7): the
+//! "metadata center" that manages multiple sites as a single data image.
+//!
+//! * [`topology`] — [`SiteTopology`]: sites, WAN trunks, distances,
+//!   failures, and the standard three-tier national-lab deployment;
+//! * [`placement`] — policy-driven replica-site selection (pinned sites,
+//!   nearest-first, minimum-distance, sync-near/async-far tiering);
+//! * [`replication`] — [`ReplicationEngine`]: synchronous mirrors and
+//!   write-ordered asynchronous journals with measurable loss windows and
+//!   RPO;
+//! * [`access`] — [`DistributedAccess`]: residency, first-reference
+//!   migration, write invalidation, heat-driven automatic replication, and
+//!   site-failure accounting.
+
+pub mod access;
+pub mod placement;
+pub mod replication;
+pub mod topology;
+
+pub use access::{AccessKind, DistributedAccess};
+pub use placement::{place, Placement, PlacementError};
+pub use replication::{ReplicationEngine, WriteRecord};
+pub use topology::{Site, SiteId, SiteTopology};

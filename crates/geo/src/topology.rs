@@ -1,0 +1,187 @@
+//! Multi-site topology (§7, Figure 3): sites joined by WAN links of
+//! configurable distance and trunk rate.
+
+use ys_simcore::time::SimDuration;
+use ys_simnet::catalog;
+use ys_simnet::LinkSpec;
+
+/// Site index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub usize);
+
+/// One data-center site.
+#[derive(Clone, Debug)]
+pub struct Site {
+    pub id: SiteId,
+    pub name: String,
+    pub up: bool,
+}
+
+/// Inter-site connectivity.
+#[derive(Clone, Debug)]
+pub struct SiteTopology {
+    sites: Vec<Site>,
+    /// Symmetric matrices indexed `[a][b]`.
+    distance_km: Vec<Vec<f64>>,
+    trunk: Vec<Vec<Option<LinkSpec>>>,
+}
+
+impl SiteTopology {
+    pub fn new(names: &[&str]) -> SiteTopology {
+        let n = names.len();
+        assert!(n > 0);
+        SiteTopology {
+            sites: names
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| Site { id: SiteId(i), name: name.into(), up: true })
+                .collect(),
+            distance_km: vec![vec![0.0; n]; n],
+            trunk: vec![vec![None; n]; n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    pub fn sites(&self) -> impl Iterator<Item = &Site> {
+        self.sites.iter()
+    }
+
+    /// Connect two sites with a trunk of the given spec over `km`.
+    pub fn connect(&mut self, a: SiteId, b: SiteId, trunk: LinkSpec, km: f64) {
+        assert_ne!(a, b, "no self links");
+        let spec = catalog::wan(trunk, km);
+        self.distance_km[a.0][b.0] = km;
+        self.distance_km[b.0][a.0] = km;
+        self.trunk[a.0][b.0] = Some(spec);
+        self.trunk[b.0][a.0] = Some(spec);
+    }
+
+    pub fn distance_km(&self, a: SiteId, b: SiteId) -> f64 {
+        self.distance_km[a.0][b.0]
+    }
+
+    pub fn link(&self, a: SiteId, b: SiteId) -> Option<LinkSpec> {
+        if !self.sites[a.0].up || !self.sites[b.0].up {
+            return None;
+        }
+        self.trunk[a.0][b.0]
+    }
+
+    /// One-way latency for a message of `bytes` between connected sites
+    /// (unloaded; queueing is charged by the orchestrator's Link objects).
+    pub fn one_way(&self, a: SiteId, b: SiteId, bytes: u64) -> Option<SimDuration> {
+        self.link(a, b).map(|l| l.unloaded_latency(bytes))
+    }
+
+    /// Round-trip time for a small control message.
+    pub fn rtt(&self, a: SiteId, b: SiteId) -> Option<SimDuration> {
+        self.one_way(a, b, 64).map(|d| d * 2)
+    }
+
+    pub fn fail_site(&mut self, s: SiteId) {
+        self.sites[s.0].up = false;
+    }
+
+    pub fn repair_site(&mut self, s: SiteId) {
+        self.sites[s.0].up = true;
+    }
+
+    /// Up sites sorted by distance from `from` (excluding `from` itself and
+    /// unconnected sites).
+    pub fn nearest_sites(&self, from: SiteId) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self
+            .sites
+            .iter()
+            .filter(|s| s.up && s.id != from && self.trunk[from.0][s.id.0].is_some())
+            .map(|s| s.id)
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.distance_km(from, a)
+                .partial_cmp(&self.distance_km(from, b))
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Standard three-site lab deployment used across the experiments:
+    /// metro dark fibre (25 km), regional OC-192 (1000 km),
+    /// continental OC-48 (7000 km).
+    pub fn national_lab() -> SiteTopology {
+        let mut t = SiteTopology::new(&["metro", "regional", "continental"]);
+        t.connect(SiteId(0), SiteId(1), catalog::oc768(), 25.0);
+        t.connect(SiteId(0), SiteId(2), catalog::oc192(), 1000.0);
+        t.connect(SiteId(1), SiteId(2), catalog::oc192(), 1000.0);
+        // continental site reachable from both at long haul
+        t.connect(SiteId(1), SiteId(0), catalog::oc768(), 25.0);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_is_symmetric() {
+        let mut t = SiteTopology::new(&["a", "b"]);
+        t.connect(SiteId(0), SiteId(1), catalog::oc192(), 500.0);
+        assert_eq!(t.distance_km(SiteId(0), SiteId(1)), 500.0);
+        assert_eq!(t.distance_km(SiteId(1), SiteId(0)), 500.0);
+        assert!(t.link(SiteId(0), SiteId(1)).is_some());
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut t = SiteTopology::new(&["a", "b", "c"]);
+        t.connect(SiteId(0), SiteId(1), catalog::oc192(), 10.0);
+        t.connect(SiteId(0), SiteId(2), catalog::oc192(), 5000.0);
+        let near = t.rtt(SiteId(0), SiteId(1)).unwrap();
+        let far = t.rtt(SiteId(0), SiteId(2)).unwrap();
+        assert!(far > near * 10);
+        // 5000 km ≈ 25 ms one-way → RTT ≥ 50 ms.
+        assert!(far.as_millis_f64() >= 50.0);
+    }
+
+    #[test]
+    fn failed_site_has_no_links() {
+        let mut t = SiteTopology::new(&["a", "b"]);
+        t.connect(SiteId(0), SiteId(1), catalog::oc48(), 100.0);
+        t.fail_site(SiteId(1));
+        assert!(t.link(SiteId(0), SiteId(1)).is_none());
+        t.repair_site(SiteId(1));
+        assert!(t.link(SiteId(0), SiteId(1)).is_some());
+    }
+
+    #[test]
+    fn nearest_sites_ordered_by_distance() {
+        let mut t = SiteTopology::new(&["home", "near", "far", "island"]);
+        t.connect(SiteId(0), SiteId(2), catalog::oc192(), 3000.0);
+        t.connect(SiteId(0), SiteId(1), catalog::oc768(), 30.0);
+        // island (3) never connected
+        assert_eq!(t.nearest_sites(SiteId(0)), vec![SiteId(1), SiteId(2)]);
+        t.fail_site(SiteId(1));
+        assert_eq!(t.nearest_sites(SiteId(0)), vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn national_lab_shape() {
+        let t = SiteTopology::national_lab();
+        assert_eq!(t.len(), 3);
+        let metro_rtt = t.rtt(SiteId(0), SiteId(1)).unwrap();
+        let long_rtt = t.rtt(SiteId(0), SiteId(2)).unwrap();
+        assert!(metro_rtt.as_millis_f64() < 1.0, "metro {metro_rtt}");
+        assert!(long_rtt.as_millis_f64() > 9.0, "continental {long_rtt}");
+    }
+}

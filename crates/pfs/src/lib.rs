@@ -1,0 +1,15 @@
+//! `ys-pfs` — the parallel file system integrated into the storage system
+//! (§4): a namespace whose files stripe across pool volumes and carry
+//! per-file **extended metadata policies** — cache retention, geographic
+//! replication (sync/async, site count, distances), RAID class, and
+//! write-back fault-tolerance level.
+//!
+//! * [`policy`] — [`FilePolicy`] / [`GeoPolicy`], the §4 metadata record;
+//! * [`fs`] — [`FileSystem`]: paths, directories, striped extent
+//!   allocation over DMSD volumes, policy inheritance and live re-policy.
+
+pub mod fs;
+pub mod policy;
+
+pub use fs::{FileExtent, FileSystem, FsError, Ino, Stat, ROOT};
+pub use policy::{FilePolicy, GeoMode, GeoPolicy};

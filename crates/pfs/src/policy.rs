@@ -1,0 +1,118 @@
+//! Extended per-file metadata policies (§4).
+//!
+//! "Metadata can be extended to allow a variety of behaviors to be
+//! dynamically set on a file by file basis, rather than on a
+//! volume-by-volume basis."
+
+use ys_cache::Retention;
+use ys_raid::RaidLevel;
+
+/// How geographic replication of a file behaves (§6.2, §7.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GeoMode {
+    /// Host write acks only after remote sites persist (zero loss window).
+    Synchronous,
+    /// Write-ordered background shipping (bounded loss window).
+    Asynchronous,
+    /// Not replicated off-site.
+    None,
+}
+
+/// Geographic replication policy for a file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeoPolicy {
+    pub mode: GeoMode,
+    /// Number of sites that must hold the file (including its home site).
+    pub site_copies: usize,
+    /// Minimum distance (km) between the home site and at least one replica
+    /// — "users could specify ... the minimum distance".
+    pub min_distance_km: f64,
+    /// Pin replication to specific sites (site indices), if non-empty.
+    pub preferred_sites: Vec<usize>,
+}
+
+impl GeoPolicy {
+    pub fn none() -> GeoPolicy {
+        GeoPolicy { mode: GeoMode::None, site_copies: 1, min_distance_km: 0.0, preferred_sites: vec![] }
+    }
+
+    pub fn sync(site_copies: usize) -> GeoPolicy {
+        GeoPolicy { mode: GeoMode::Synchronous, site_copies, min_distance_km: 0.0, preferred_sites: vec![] }
+    }
+
+    pub fn async_(site_copies: usize) -> GeoPolicy {
+        GeoPolicy { mode: GeoMode::Asynchronous, site_copies, min_distance_km: 0.0, preferred_sites: vec![] }
+    }
+}
+
+/// The full per-file policy record (§4's bullet list, one field each).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilePolicy {
+    /// Cache retention priority override.
+    pub retention: Retention,
+    /// Geographic replication.
+    pub geo: GeoPolicy,
+    /// RAID class override ("override the automatic selection of RAID type").
+    pub raid: Option<RaidLevel>,
+    /// Controller-level fault tolerance for write-back: total dirty copies
+    /// held in blade caches before the host write is acked (§6.1 N-way).
+    pub write_back_copies: usize,
+}
+
+impl Default for FilePolicy {
+    fn default() -> FilePolicy {
+        FilePolicy {
+            retention: Retention::Normal,
+            geo: GeoPolicy::none(),
+            raid: None,
+            write_back_copies: 2,
+        }
+    }
+}
+
+impl FilePolicy {
+    /// Policy for throwaway data: minimal protection, evict first.
+    pub fn scratch() -> FilePolicy {
+        FilePolicy {
+            retention: Retention::Low,
+            geo: GeoPolicy::none(),
+            raid: Some(RaidLevel::Raid0),
+            write_back_copies: 1,
+        }
+    }
+
+    /// Policy for critical data: pinned hot, synchronously replicated to 2
+    /// sites, RAID6, triple write-back copies.
+    pub fn critical() -> FilePolicy {
+        FilePolicy {
+            retention: Retention::High,
+            geo: GeoPolicy::sync(2),
+            raid: Some(RaidLevel::Raid6),
+            write_back_copies: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = FilePolicy::default();
+        assert_eq!(p.retention, Retention::Normal);
+        assert_eq!(p.geo.mode, GeoMode::None);
+        assert_eq!(p.write_back_copies, 2, "classic dual-controller default");
+        assert!(p.raid.is_none(), "RAID class chosen automatically");
+    }
+
+    #[test]
+    fn presets_differ_along_every_axis() {
+        let s = FilePolicy::scratch();
+        let c = FilePolicy::critical();
+        assert!(s.retention < c.retention);
+        assert!(s.write_back_copies < c.write_back_copies);
+        assert_eq!(c.geo.mode, GeoMode::Synchronous);
+        assert_eq!(c.geo.site_copies, 2);
+    }
+}

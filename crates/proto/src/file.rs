@@ -1,0 +1,203 @@
+//! The file protocol: an NFS-flavoured operation set exported by the
+//! blade-integrated PFS (§4: "accessed from a host using IP, Fibre Channel,
+//! or Infiniband ... including NFS, CIFS, or, when available, DAFS").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// File-protocol requests.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FileOp {
+    Lookup { path: String },
+    Create { path: String },
+    Mkdir { path: String },
+    Read { ino: u64, offset: u64, len: u64 },
+    Write { ino: u64, offset: u64, len: u64 },
+    Remove { path: String },
+    Rename { from: String, to: String },
+    GetAttr { path: String },
+    /// Set an extended-metadata policy preset by name (§4).
+    SetPolicy { path: String, preset: String },
+    ReadDir { path: String },
+}
+
+const OP_LOOKUP: u8 = 1;
+const OP_CREATE: u8 = 2;
+const OP_MKDIR: u8 = 3;
+const OP_READ: u8 = 4;
+const OP_WRITE: u8 = 5;
+const OP_REMOVE: u8 = 6;
+const OP_RENAME: u8 = 7;
+const OP_GETATTR: u8 = 8;
+const OP_SETPOLICY: u8 = 9;
+const OP_READDIR: u8 = 10;
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u16(s.len() as u16);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_str(frame: &mut Bytes) -> Result<String, DecodeError> {
+    if frame.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = frame.get_u16() as usize;
+    if frame.remaining() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let raw = frame.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+}
+
+/// Frame a request.
+pub fn encode(op: &FileOp) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    match op {
+        FileOp::Lookup { path } => {
+            b.put_u8(OP_LOOKUP);
+            put_str(&mut b, path);
+        }
+        FileOp::Create { path } => {
+            b.put_u8(OP_CREATE);
+            put_str(&mut b, path);
+        }
+        FileOp::Mkdir { path } => {
+            b.put_u8(OP_MKDIR);
+            put_str(&mut b, path);
+        }
+        FileOp::Read { ino, offset, len } => {
+            b.put_u8(OP_READ);
+            b.put_u64(*ino);
+            b.put_u64(*offset);
+            b.put_u64(*len);
+        }
+        FileOp::Write { ino, offset, len } => {
+            b.put_u8(OP_WRITE);
+            b.put_u64(*ino);
+            b.put_u64(*offset);
+            b.put_u64(*len);
+        }
+        FileOp::Remove { path } => {
+            b.put_u8(OP_REMOVE);
+            put_str(&mut b, path);
+        }
+        FileOp::Rename { from, to } => {
+            b.put_u8(OP_RENAME);
+            put_str(&mut b, from);
+            put_str(&mut b, to);
+        }
+        FileOp::GetAttr { path } => {
+            b.put_u8(OP_GETATTR);
+            put_str(&mut b, path);
+        }
+        FileOp::SetPolicy { path, preset } => {
+            b.put_u8(OP_SETPOLICY);
+            put_str(&mut b, path);
+            put_str(&mut b, preset);
+        }
+        FileOp::ReadDir { path } => {
+            b.put_u8(OP_READDIR);
+            put_str(&mut b, path);
+        }
+    }
+    b.freeze()
+}
+
+/// Decode failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    Empty,
+    UnknownOpcode(u8),
+    Truncated,
+    BadString,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Empty => write!(f, "empty frame"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Parse a frame.
+pub fn decode(mut frame: Bytes) -> Result<FileOp, DecodeError> {
+    if frame.is_empty() {
+        return Err(DecodeError::Empty);
+    }
+    let op = frame.get_u8();
+    let get_u64s = |frame: &mut Bytes| -> Result<(u64, u64, u64), DecodeError> {
+        if frame.remaining() < 24 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok((frame.get_u64(), frame.get_u64(), frame.get_u64()))
+    };
+    match op {
+        OP_LOOKUP => Ok(FileOp::Lookup { path: get_str(&mut frame)? }),
+        OP_CREATE => Ok(FileOp::Create { path: get_str(&mut frame)? }),
+        OP_MKDIR => Ok(FileOp::Mkdir { path: get_str(&mut frame)? }),
+        OP_READ => {
+            let (ino, offset, len) = get_u64s(&mut frame)?;
+            Ok(FileOp::Read { ino, offset, len })
+        }
+        OP_WRITE => {
+            let (ino, offset, len) = get_u64s(&mut frame)?;
+            Ok(FileOp::Write { ino, offset, len })
+        }
+        OP_REMOVE => Ok(FileOp::Remove { path: get_str(&mut frame)? }),
+        OP_RENAME => Ok(FileOp::Rename { from: get_str(&mut frame)?, to: get_str(&mut frame)? }),
+        OP_GETATTR => Ok(FileOp::GetAttr { path: get_str(&mut frame)? }),
+        OP_SETPOLICY => Ok(FileOp::SetPolicy { path: get_str(&mut frame)?, preset: get_str(&mut frame)? }),
+        OP_READDIR => Ok(FileOp::ReadDir { path: get_str(&mut frame)? }),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_op() {
+        let ops = [
+            FileOp::Lookup { path: "/a/b".into() },
+            FileOp::Create { path: "/data/run-42.h5".into() },
+            FileOp::Mkdir { path: "/data".into() },
+            FileOp::Read { ino: 17, offset: 1 << 30, len: 1 << 20 },
+            FileOp::Write { ino: 17, offset: 0, len: 4096 },
+            FileOp::Remove { path: "/tmp/x".into() },
+            FileOp::Rename { from: "/a".into(), to: "/b".into() },
+            FileOp::GetAttr { path: "/".into() },
+            FileOp::SetPolicy { path: "/critical".into(), preset: "critical".into() },
+            FileOp::ReadDir { path: "/data".into() },
+        ];
+        for op in ops {
+            assert_eq!(decode(encode(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn unicode_paths_survive() {
+        let op = FileOp::Create { path: "/données/α β γ.txt".into() };
+        assert_eq!(decode(encode(&op)).unwrap(), op);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let full = encode(&FileOp::Rename { from: "/long/path/name".into(), to: "/other".into() });
+        for cut in 1..full.len() {
+            let partial = full.slice(..cut);
+            assert!(decode(partial).is_err(), "cut at {cut} must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_rejected() {
+        assert_eq!(decode(Bytes::new()).unwrap_err(), DecodeError::Empty);
+        assert_eq!(decode(Bytes::from_static(&[200])).unwrap_err(), DecodeError::UnknownOpcode(200));
+    }
+}

@@ -1,0 +1,23 @@
+//! `ys-proto` — access protocols and workload generation (§8).
+//!
+//! "Export a complete range of storage protocols ... all managed from a
+//! common pool" and "export higher-level protocols, such as FTP, HTTP,
+//! RSTP ... directly from the storage system onto the network."
+//!
+//! * [`block`] — SCSI-flavoured block commands with real wire framing;
+//! * [`file`] — NFS-flavoured file operations, including `SetPolicy` for
+//!   §4's per-file extended metadata;
+//! * [`stream`] — HTTP/FTP/RTSP/DICOM streaming requests and the striped
+//!   segment delivery plan of Figure 1;
+//! * [`workload`] — deterministic sequential / random / Zipf / mixed
+//!   generators driving every experiment.
+
+pub mod block;
+pub mod file;
+pub mod stream;
+pub mod workload;
+
+pub use block::{BlockCmd, BlockStatus, SECTOR};
+pub use file::FileOp;
+pub use stream::{plan_stream, StreamPlan, StreamProtocol, StreamRequest, StreamSegment};
+pub use workload::{IoOp, Pattern, Workload};

@@ -1,0 +1,71 @@
+//! Keyed hashing / message authentication built on the XTEA block cipher
+//! (Matyas–Meyer–Oseas-style compression in CBC-MAC arrangement).
+//!
+//! Used for session tokens and control-message authentication (§5's
+//! "proper user authentication ... before allowing access to data or
+//! control paths"). A simulation stand-in, not audited cryptography.
+
+use crate::cipher::{encrypt_block, Key};
+
+/// 64-bit keyed digest of `data` under `key`.
+pub fn keyed_hash(key: &Key, data: &[u8]) -> u64 {
+    // Length prefix defeats trivial extension/truncation collisions.
+    let mut state: u64 = encrypt_block(key, data.len() as u64) ^ (data.len() as u64);
+    for chunk in data.chunks(8) {
+        let mut block = [0u8; 8];
+        block[..chunk.len()].copy_from_slice(chunk);
+        let m = u64::from_be_bytes(block);
+        // Davies–Meyer: E_k(state ^ m) ^ m
+        state = encrypt_block(key, state ^ m) ^ m;
+    }
+    state
+}
+
+/// Constant-time-ish comparison of two digests (the sim doesn't have real
+/// timing side channels, but the API shape matters).
+pub fn digest_eq(a: u64, b: u64) -> bool {
+    (a ^ b) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let key = Key::from_seed(1);
+        assert_eq!(keyed_hash(&key, b"hello"), keyed_hash(&key, b"hello"));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(
+            keyed_hash(&Key::from_seed(1), b"hello"),
+            keyed_hash(&Key::from_seed(2), b"hello")
+        );
+    }
+
+    #[test]
+    fn data_sensitivity() {
+        let key = Key::from_seed(3);
+        assert_ne!(keyed_hash(&key, b"hello"), keyed_hash(&key, b"hellp"));
+        assert_ne!(keyed_hash(&key, b""), keyed_hash(&key, b"\0"));
+        assert_ne!(keyed_hash(&key, b"ab"), keyed_hash(&key, b"ab\0"));
+    }
+
+    #[test]
+    fn no_trivial_collisions_over_small_corpus() {
+        let key = Key::from_seed(5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let d = keyed_hash(&key, &i.to_be_bytes());
+            assert!(seen.insert(d), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn digest_eq_works() {
+        assert!(digest_eq(5, 5));
+        assert!(!digest_eq(5, 6));
+    }
+}

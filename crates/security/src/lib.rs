@@ -1,0 +1,28 @@
+//! `ys-security` — the paper's four security levels (§5):
+//!
+//! 1. **Authentication & policy** before data or control access —
+//!    [`auth::AuthService`], challenge/response login, MAC'd session
+//!    tokens, role checks;
+//! 2. **Secure delivery** between controller and client — CTR-mode
+//!    in-transit framing over [`cipher`];
+//! 3. **Encryption of data and metadata on disk** — seekable XTEA-CTR
+//!    ([`cipher::ctr_xor`]) with per-volume keys, so a removed disk leaks
+//!    nothing (§5.1's warranty-return scenario);
+//! 4. **A fortified ring** — [`lun::LunMask`] (LUN masking), port zoning
+//!    (host-side vs disk-side fabric separation), in-band command
+//!    disabling, and an [`audit::AuditLog`].
+//!
+//! The cipher is an explicit simulation stand-in (documented in DESIGN.md):
+//! the paper treats encryption engines as pluggable hardware.
+
+pub mod audit;
+pub mod auth;
+pub mod cipher;
+pub mod hash;
+pub mod lun;
+
+pub use audit::{AuditEvent, AuditLog};
+pub use auth::{AuthError, AuthService, Principal, PrincipalId, Role, SessionToken};
+pub use cipher::{ctr_xor, decrypt_block, encrypt_block, Key, HW_NS_PER_BYTE, SW_NS_PER_BYTE};
+pub use hash::{digest_eq, keyed_hash};
+pub use lun::{ControlCommand, InitiatorId, LunMask, PortZone, SecurityViolation};

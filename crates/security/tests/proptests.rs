@@ -1,0 +1,92 @@
+//! Property tests: cipher correctness for arbitrary data/keys/offsets,
+//! keyed-hash behaviour, and LUN-mask set semantics.
+
+use proptest::prelude::*;
+use ys_security::{ctr_xor, decrypt_block, encrypt_block, keyed_hash, InitiatorId, Key, LunMask};
+use ys_virt::VolumeId;
+
+proptest! {
+    /// Block cipher is a bijection: decrypt ∘ encrypt = id for any key and
+    /// block.
+    #[test]
+    fn block_cipher_bijective(seed in any::<u64>(), block in any::<u64>()) {
+        let key = Key::from_seed(seed);
+        prop_assert_eq!(decrypt_block(&key, encrypt_block(&key, block)), block);
+        prop_assert_eq!(encrypt_block(&key, decrypt_block(&key, block)), block);
+    }
+
+    /// CTR mode round-trips any payload at any offset, and ciphertext
+    /// differs from plaintext (for non-trivial payloads).
+    #[test]
+    fn ctr_roundtrip(seed in any::<u64>(), nonce in any::<u64>(), offset in 0u64..1_000_000, data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let key = Key::from_seed(seed);
+        let mut buf = data.clone();
+        ctr_xor(&key, nonce, offset, &mut buf);
+        if data.len() >= 16 {
+            prop_assert_ne!(&buf, &data, "ciphertext must differ");
+        }
+        ctr_xor(&key, nonce, offset, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Seekability: ciphering a range in arbitrary splits equals ciphering
+    /// it whole.
+    #[test]
+    fn ctr_split_equals_whole(
+        seed in any::<u64>(),
+        offset in 0u64..100_000,
+        data in proptest::collection::vec(any::<u8>(), 2..1024),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let key = Key::from_seed(seed);
+        let cut = ((data.len() as f64 * cut_frac) as usize).clamp(1, data.len() - 1);
+        let mut whole = data.clone();
+        ctr_xor(&key, 9, offset, &mut whole);
+        let mut lo = data[..cut].to_vec();
+        let mut hi = data[cut..].to_vec();
+        ctr_xor(&key, 9, offset, &mut lo);
+        ctr_xor(&key, 9, offset + cut as u64, &mut hi);
+        lo.extend(hi);
+        prop_assert_eq!(whole, lo);
+    }
+
+    /// Keyed hash: deterministic, key-separated (different keys almost
+    /// never collide on the same message).
+    #[test]
+    fn keyed_hash_separation(k1 in any::<u64>(), k2 in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let a = keyed_hash(&Key::from_seed(k1), &msg);
+        prop_assert_eq!(a, keyed_hash(&Key::from_seed(k1), &msg));
+        if k1 != k2 {
+            // 2^-64 collision chance; treat equality as failure.
+            prop_assert_ne!(a, keyed_hash(&Key::from_seed(k2), &msg));
+        }
+    }
+
+    /// LUN mask behaves as a set: access allowed iff granted and not
+    /// subsequently revoked, for any interleaving.
+    #[test]
+    fn lun_mask_is_a_faithful_set(ops in proptest::collection::vec((any::<bool>(), 0u32..8, 0u32..8), 1..100)) {
+        let mut mask = LunMask::new();
+        let mut model = std::collections::HashSet::new();
+        for (grant, ini, vol) in ops {
+            if grant {
+                mask.grant(InitiatorId(ini), VolumeId(vol));
+                model.insert((ini, vol));
+            } else {
+                mask.revoke(InitiatorId(ini), VolumeId(vol));
+                model.remove(&(ini, vol));
+            }
+        }
+        for ini in 0..8u32 {
+            for vol in 0..8u32 {
+                let allowed = mask.check_access(InitiatorId(ini), VolumeId(vol)).is_ok();
+                prop_assert_eq!(allowed, model.contains(&(ini, vol)), "ini {} vol {}", ini, vol);
+            }
+            // visible_volumes agrees with the model too.
+            let vis: Vec<u32> = mask.visible_volumes(InitiatorId(ini)).iter().map(|v| v.0).collect();
+            let mut expect: Vec<u32> = (0..8).filter(|&v| model.contains(&(ini, v))).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(vis, expect);
+        }
+    }
+}

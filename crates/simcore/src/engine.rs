@@ -1,0 +1,342 @@
+//! The discrete-event engine.
+//!
+//! A minimal, deterministic event scheduler: events are `(time, seq, E)`
+//! triples ordered first by time, then by insertion sequence, so two events
+//! scheduled for the same instant fire in the order they were scheduled.
+//! Determinism is the property every experiment in EXPERIMENTS.md leans on —
+//! `(config, seed)` fully determines a run.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(pub(crate) u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event scheduler over event payloads `E`.
+///
+/// ```
+/// use ys_simcore::{Engine, Control, SimTime, SimDuration};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_at(SimTime(100), "second");
+/// engine.schedule_at(SimTime(50), "first");
+/// let mut seen = Vec::new();
+/// engine.run(|eng, _t, ev| {
+///     seen.push(ev);
+///     if ev == "first" {
+///         eng.schedule_in(SimDuration::from_nanos(200), "third");
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(seen, vec!["first", "second", "third"]);
+/// assert_eq!(engine.now(), SimTime(250));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs scheduled but not yet popped or cancelled.
+    pending_set: std::collections::HashSet<u64>,
+    cancelled: std::collections::HashSet<u64>,
+    dispatched: u64,
+}
+
+impl<E: Eq> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> Engine<E> {
+    pub fn new() -> Engine<E> {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            pending_set: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending (upper bound: includes cancelled
+    /// entries not yet popped).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// `at` may not precede the engine's current time: the simulation cannot
+    /// rewrite its past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time: at, seq, payload }));
+        self.pending_set.insert(seq);
+        EventId(seq)
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` iff the event
+    /// was still pending (an already-dispatched or already-cancelled event
+    /// cannot be cancelled). Cancellation is lazy: the heap entry is
+    /// skipped at pop time via a tombstone.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending_set.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    /// Pop the next live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue time went backwards");
+            self.pending_set.remove(&entry.seq);
+            self.now = entry.time;
+            self.dispatched += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Drive the simulation to completion (or until `handler` returns
+    /// [`Control::Stop`]), feeding each event to `handler` together with a
+    /// mutable reference to the engine so the handler can schedule follow-ups.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E) -> Control,
+    {
+        while let Some((t, ev)) = self.pop() {
+            if handler(self, t, ev) == Control::Stop {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Engine::run`] but stops once simulated time exceeds `deadline`
+    /// (the event at the deadline itself still fires).
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E) -> Control,
+    {
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.pop().expect("peeked event vanished");
+            if handler(self, t, ev) == Control::Stop {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+/// Handler verdict for [`Engine::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    Continue,
+    Stop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime(30), 3);
+        e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut e: Engine<&'static str> = Engine::new();
+        e.schedule_at(SimTime(100), "first");
+        e.pop();
+        e.schedule_in(SimDuration::from_nanos(50), "second");
+        let (t, v) = e.pop().unwrap();
+        assert_eq!((t, v), (SimTime(150), "second"));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(20), 2);
+        assert!(e.cancel(a));
+        assert!(!e.cancel(a), "double-cancel reports false");
+        let (_, v) = e.pop().unwrap();
+        assert_eq!(v, 2);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(25), 2);
+        e.cancel(a);
+        assert_eq!(e.peek_time(), Some(SimTime(25)));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 1..=10u64 {
+            e.schedule_at(SimTime(i * 10), i as u32);
+        }
+        let mut seen = vec![];
+        e.run_until(SimTime(55), |_, _, v| {
+            seen.push(v);
+            Control::Continue
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(e.now(), SimTime(55));
+        // remaining events still pending
+        assert_eq!(e.peek_time(), Some(SimTime(60)));
+    }
+
+    #[test]
+    fn run_handler_can_schedule_followups() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime(1), 0);
+        let mut count = 0u32;
+        e.run(|eng, _, v| {
+            count += 1;
+            if v < 9 {
+                eng.schedule_in(SimDuration::from_nanos(1), v + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(count, 10);
+        assert_eq!(e.now(), SimTime(10));
+    }
+
+    #[test]
+    fn run_stops_on_control_stop() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(SimTime(i), i as u32);
+        }
+        let mut seen = 0;
+        e.run(|_, _, v| {
+            seen += 1;
+            if v == 4 { Control::Stop } else { Control::Continue }
+        });
+        assert_eq!(seen, 5);
+        assert_eq!(e.pending(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime(100), 1);
+        e.pop();
+        e.schedule_at(SimTime(50), 2);
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::*;
+
+    #[test]
+    fn cancelling_a_dispatched_event_fails_and_leaks_nothing() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(20), 2);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(1));
+        // Event `a` already fired: cancel must refuse.
+        assert!(!e.cancel(a), "cannot cancel the past");
+        // The remaining event is unaffected.
+        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_false() {
+        let mut e: Engine<u32> = Engine::new();
+        assert!(!e.cancel(EventId(99)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Failure-injection plans.
+//!
+//! A [`FaultPlan`] is an ordered schedule of component failures and repairs
+//! that an experiment replays into its event queue, so fault scenarios are
+//! part of the deterministic configuration rather than ad-hoc test code.
+
+use crate::time::SimTime;
+
+/// What kind of component fails.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultTarget {
+    /// A controller blade, by cluster-wide index.
+    Blade(usize),
+    /// A physical disk, by farm-wide index.
+    Disk(usize),
+    /// An entire site, by site index.
+    Site(usize),
+    /// An inter-site link, by (from, to) site indices.
+    Link(usize, usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Component stops responding permanently (until an explicit repair).
+    Fail,
+    /// Component comes back (replacement disk, restored site...).
+    Repair,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub target: FaultTarget,
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule: a time-sorted list of fault events.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn fail(mut self, at: SimTime, target: FaultTarget) -> FaultPlan {
+        self.events.push(FaultEvent { at, target, kind: FaultKind::Fail });
+        self
+    }
+
+    pub fn repair(mut self, at: SimTime, target: FaultTarget) -> FaultPlan {
+        self.events.push(FaultEvent { at, target, kind: FaultKind::Repair });
+        self
+    }
+
+    /// Events sorted by time (stable for ties, preserving build order).
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of distinct blades this plan ever fails.
+    pub fn failed_blades(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for e in &self.events {
+            if e.kind == FaultKind::Fail {
+                if let FaultTarget::Blade(b) = e.target {
+                    set.insert(b);
+                }
+            }
+        }
+        set.len()
+    }
+}
+
+/// Live availability mask kept by the simulation as the plan replays.
+#[derive(Clone, Debug)]
+pub struct Availability {
+    blades: Vec<bool>,
+    disks: Vec<bool>,
+    sites: Vec<bool>,
+}
+
+impl Availability {
+    pub fn new(blades: usize, disks: usize, sites: usize) -> Availability {
+        Availability {
+            blades: vec![true; blades],
+            disks: vec![true; disks],
+            sites: vec![true; sites],
+        }
+    }
+
+    pub fn apply(&mut self, ev: &FaultEvent) {
+        let up = ev.kind == FaultKind::Repair;
+        match ev.target {
+            FaultTarget::Blade(i) => self.blades[i] = up,
+            FaultTarget::Disk(i) => self.disks[i] = up,
+            FaultTarget::Site(i) => self.sites[i] = up,
+            FaultTarget::Link(..) => {}
+        }
+    }
+
+    pub fn blade_up(&self, i: usize) -> bool {
+        self.blades.get(i).copied().unwrap_or(false)
+    }
+
+    pub fn disk_up(&self, i: usize) -> bool {
+        self.disks.get(i).copied().unwrap_or(false)
+    }
+
+    pub fn site_up(&self, i: usize) -> bool {
+        self.sites.get(i).copied().unwrap_or(false)
+    }
+
+    pub fn up_blades(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blades.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i)
+    }
+
+    pub fn up_blade_count(&self) -> usize {
+        self.blades.iter().filter(|&&u| u).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_by_time() {
+        let p = FaultPlan::new()
+            .fail(SimTime(300), FaultTarget::Blade(1))
+            .fail(SimTime(100), FaultTarget::Disk(0))
+            .repair(SimTime(200), FaultTarget::Disk(0));
+        let evs = p.sorted();
+        assert_eq!(evs[0].at, SimTime(100));
+        assert_eq!(evs[1].at, SimTime(200));
+        assert_eq!(evs[2].at, SimTime(300));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn plan_counts_distinct_failed_blades() {
+        let p = FaultPlan::new()
+            .fail(SimTime(1), FaultTarget::Blade(0))
+            .fail(SimTime(2), FaultTarget::Blade(0))
+            .fail(SimTime(3), FaultTarget::Blade(2))
+            .fail(SimTime(4), FaultTarget::Disk(9));
+        assert_eq!(p.failed_blades(), 2);
+    }
+
+    #[test]
+    fn availability_tracks_fail_and_repair() {
+        let mut a = Availability::new(4, 2, 1);
+        assert!(a.blade_up(3));
+        a.apply(&FaultEvent { at: SimTime(1), target: FaultTarget::Blade(3), kind: FaultKind::Fail });
+        assert!(!a.blade_up(3));
+        assert_eq!(a.up_blade_count(), 3);
+        assert_eq!(a.up_blades().collect::<Vec<_>>(), vec![0, 1, 2]);
+        a.apply(&FaultEvent { at: SimTime(2), target: FaultTarget::Blade(3), kind: FaultKind::Repair });
+        assert!(a.blade_up(3));
+    }
+
+    #[test]
+    fn unknown_indices_read_as_down() {
+        let a = Availability::new(1, 1, 1);
+        assert!(!a.blade_up(99));
+        assert!(!a.disk_up(99));
+        assert!(!a.site_up(99));
+    }
+}

@@ -1,0 +1,30 @@
+//! `ys-simcore` — deterministic discrete-event simulation substrate for the
+//! yottastore reproduction.
+//!
+//! Provides the pieces every other crate builds on:
+//!
+//! * [`time`] — nanosecond [`SimTime`]/[`SimDuration`] and exact
+//!   [`Bandwidth`] arithmetic for the paper's link-rate catalog;
+//! * [`engine`] — the [`Engine`] event queue with total (time, seq) ordering;
+//! * [`rng`] — seedable xoshiro256++ [`Rng`] plus the workload distributions
+//!   (uniform, exponential, log-normal, [`Zipf`] hot-spot skew);
+//! * [`stats`] — counters, latency histograms, rate meters, time-weighted
+//!   gauges, and the [`Series`] text tables benches print;
+//! * [`fault`] — deterministic failure-injection [`FaultPlan`]s;
+//! * [`sweep`] — a parallel parameter-sweep runner (threads + crossbeam),
+//!   keeping individual runs single-threaded and deterministic.
+
+pub mod engine;
+pub mod fault;
+pub mod rng;
+pub mod stats;
+pub mod sweep;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Control, Engine, EventId};
+pub use fault::{Availability, FaultEvent, FaultKind, FaultPlan, FaultTarget};
+pub use rng::{Rng, Zipf};
+pub use stats::{Counter, LatencyHisto, RateMeter, Series, TimeWeighted};
+pub use time::{Bandwidth, SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceRing};

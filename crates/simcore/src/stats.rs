@@ -1,0 +1,406 @@
+//! Measurement instruments: counters, latency histograms, rate meters, and
+//! time-weighted gauges. Every experiment reports through these so that the
+//! bench harness and the tests read identical numbers.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Monotonic event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    count: u64,
+    sum_bytes: u64,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn record(&mut self, bytes: u64) {
+        self.count += 1;
+        self.sum_bytes += bytes;
+    }
+
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.sum_bytes
+    }
+
+    pub fn merge(&mut self, other: &Counter) {
+        self.count += other.count;
+        self.sum_bytes += other.sum_bytes;
+    }
+}
+
+/// Log-bucketed latency histogram.
+///
+/// Buckets are powers of two of nanoseconds (64 buckets cover 1 ns .. ~584 y)
+/// with 16 linear sub-buckets each, giving ≤ 6.25% relative quantile error —
+/// plenty for "who wins and by how much" comparisons.
+#[derive(Clone, Debug)]
+pub struct LatencyHisto {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+const SUB: usize = 16;
+const SUB_BITS: u32 = 4;
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHisto {
+    pub fn new() -> LatencyHisto {
+        LatencyHisto {
+            buckets: vec![0; 64 * SUB],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < SUB as u64 {
+            return ns as usize;
+        }
+        let log = 63 - ns.leading_zeros();
+        let shift = log.saturating_sub(SUB_BITS);
+        let sub = ((ns >> shift) as usize) & (SUB - 1);
+        ((log - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    /// Representative (lower-bound) value for a bucket index.
+    fn value(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let log = (idx / SUB) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUB) as u64;
+        (1u64 << log) + (sub << (log - SUB_BITS))
+    }
+
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.nanos();
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.sum_ns / self.count as u128) as u64)
+    }
+
+    pub fn max(&self) -> SimDuration {
+        SimDuration(if self.count == 0 { 0 } else { self.max_ns })
+    }
+
+    pub fn min(&self) -> SimDuration {
+        SimDuration(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    /// Quantile in `[0, 1]`; returns the lower bound of the containing
+    /// bucket, so reported quantiles never overstate latency.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return SimDuration(Self::value(idx));
+            }
+        }
+        SimDuration(self.max_ns)
+    }
+
+    pub fn p50(&self) -> SimDuration {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> SimDuration {
+        self.quantile(0.99)
+    }
+
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+/// Bytes-over-time rate meter.
+#[derive(Clone, Debug, Default)]
+pub struct RateMeter {
+    bytes: u64,
+    ops: u64,
+    start: Option<SimTime>,
+    end: SimTime,
+}
+
+impl RateMeter {
+    pub fn new() -> RateMeter {
+        RateMeter::default()
+    }
+
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        if self.start.is_none() {
+            self.start = Some(at);
+        }
+        self.bytes += bytes;
+        self.ops += 1;
+        self.end = self.end.max(at);
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    pub fn elapsed(&self) -> SimDuration {
+        match self.start {
+            Some(s) => self.end.since(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    pub fn mb_per_sec(&self) -> f64 {
+        crate::time::throughput_mb_per_sec(self.bytes, self.elapsed())
+    }
+
+    pub fn gbit_per_sec(&self) -> f64 {
+        crate::time::throughput_gbit_per_sec(self.bytes, self.elapsed())
+    }
+
+    pub fn iops(&self) -> f64 {
+        let e = self.elapsed();
+        if e.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / e.as_secs_f64()
+        }
+    }
+}
+
+/// Tracks a level (queue depth, utilization) weighted by how long it held
+/// each value; yields the time-average.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    pub fn new(start: SimTime, initial: f64) -> TimeWeighted {
+        TimeWeighted {
+            level: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            start,
+            peak: initial,
+        }
+    }
+
+    pub fn set(&mut self, at: SimTime, level: f64) {
+        debug_assert!(at >= self.last_change);
+        self.weighted_sum += self.level * at.since(self.last_change).as_secs_f64();
+        self.level = level;
+        self.last_change = at;
+        self.peak = self.peak.max(level);
+    }
+
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set(at, next);
+    }
+
+    pub fn current(&self) -> f64 {
+        self.level
+    }
+
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-average of the level over `[start, until]`.
+    pub fn average(&self, until: SimTime) -> f64 {
+        let total = until.since(self.start).as_secs_f64();
+        if total == 0.0 {
+            return self.level;
+        }
+        let pending = self.level * until.since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / total
+    }
+}
+
+/// A labelled series of (x, y) points — the exact shape every bench prints.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Series {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Render as the aligned text table used by benches and EXPERIMENTS.md.
+    pub fn render(&self, x_label: &str, y_label: &str) -> String {
+        let mut out = format!("# {}\n# {:>14}  {:>14}\n", self.name, x_label, y_label);
+        for (x, y) in &self.points {
+            out.push_str(&format!("  {:>14.4}  {:>14.4}\n", x, y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let mut a = Counter::new();
+        a.record(100);
+        a.record(50);
+        a.incr();
+        let mut b = Counter::new();
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bytes(), 175);
+    }
+
+    #[test]
+    fn histo_index_value_are_consistent() {
+        for ns in [0u64, 1, 15, 16, 17, 100, 1000, 123_456, u32::MAX as u64, 1 << 40] {
+            let idx = LatencyHisto::index(ns);
+            let lo = LatencyHisto::value(idx);
+            assert!(lo <= ns, "lower bound {lo} > sample {ns}");
+            // next bucket's lower bound must exceed the sample
+            if idx + 1 < 64 * SUB {
+                let hi = LatencyHisto::value(idx + 1);
+                assert!(ns < hi, "sample {ns} >= next bucket {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn histo_quantiles_bracket_truth() {
+        let mut h = LatencyHisto::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_nanos(i * 100));
+        }
+        let p50 = h.p50().nanos() as f64;
+        let p99 = h.p99().nanos() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.08, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.08, "p99 {p99}");
+        assert_eq!(h.max(), SimDuration::from_nanos(1_000_000));
+        assert_eq!(h.min(), SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    fn histo_mean_exact() {
+        let mut h = LatencyHisto::new();
+        h.record(SimDuration::from_nanos(10));
+        h.record(SimDuration::from_nanos(30));
+        assert_eq!(h.mean(), SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    fn histo_merge_matches_combined_recording() {
+        let mut a = LatencyHisto::new();
+        let mut b = LatencyHisto::new();
+        let mut both = LatencyHisto::new();
+        for i in 0..1000u64 {
+            let d = SimDuration::from_nanos(i * i + 1);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            both.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.p99(), both.p99());
+        assert_eq!(a.mean(), both.mean());
+    }
+
+    #[test]
+    fn empty_histo_is_safe() {
+        let h = LatencyHisto::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.p99(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rate_meter_computes_throughput() {
+        let mut r = RateMeter::new();
+        r.record(SimTime(0), 0);
+        r.record(SimTime(1_000_000_000), 100_000_000);
+        assert!((r.mb_per_sec() - 100.0).abs() < 1e-9);
+        assert!((r.iops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut g = TimeWeighted::new(SimTime(0), 0.0);
+        g.set(SimTime(1_000_000_000), 10.0); // level 0 for 1s
+        g.set(SimTime(3_000_000_000), 0.0); // level 10 for 2s
+        // average over 4s = (0*1 + 10*2 + 0*1)/4 = 5
+        let avg = g.average(SimTime(4_000_000_000));
+        assert!((avg - 5.0).abs() < 1e-9, "avg {avg}");
+        assert_eq!(g.peak(), 10.0);
+    }
+
+    #[test]
+    fn series_renders_header_and_rows() {
+        let mut s = Series::new("e1");
+        s.push(1.0, 2.5);
+        let text = s.render("blades", "gbps");
+        assert!(text.contains("# e1"));
+        assert!(text.contains("2.5000"));
+    }
+}

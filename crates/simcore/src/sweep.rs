@@ -1,0 +1,109 @@
+//! Parallel parameter-sweep runner.
+//!
+//! Each simulation run is single-threaded and deterministic; sweeps over
+//! configurations (blade counts, distances, replication factors...) are
+//! embarrassingly parallel, so we fan the configurations out over a scoped
+//! thread pool fed by a crossbeam channel and collect results in input order.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Run `f` over every item of `inputs`, in parallel across up to `threads`
+/// workers, returning outputs in input order.
+///
+/// `f` must be deterministic per input for sweep results to be reproducible;
+/// the parallelism here never reorders or perturbs individual runs.
+pub fn run_sweep<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, I)>();
+    for pair in inputs.into_iter().enumerate() {
+        tx.send(pair).expect("send to open channel");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, input)) = rx.recv() {
+                    let out = f(&input);
+                    results.lock()[idx] = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("worker produced every slot"))
+        .collect()
+}
+
+/// Default worker count: the machine's parallelism, bounded to something
+/// polite for shared boxes.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = run_sweep(inputs, 8, |&x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_thread_path_matches_parallel() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let seq = run_sweep(inputs.clone(), 1, |&x| x + 7);
+        let par = run_sweep(inputs, 8, |&x| x + 7);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = run_sweep(Vec::<u64>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_inputs_is_fine() {
+        let out = run_sweep(vec![1u64, 2], 64, |&x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // Record which thread handled each item; with 4 workers and 64
+        // slow-ish items more than one thread should participate.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let ids = StdMutex::new(HashSet::new());
+        let inputs: Vec<u64> = (0..64).collect();
+        run_sweep(inputs, 4, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The disk farm: an addressable shelf of drives behind the controllers.
+//!
+//! Every controller blade can reach every disk (§2.1: "any controller to
+//! access any data on any disk"), so the farm is a single flat namespace of
+//! [`DiskId`]s. Fibre-channel path time to reach a disk is charged by the
+//! caller via `ys-simnet`; the farm accounts only for drive service.
+
+use crate::model::{Disk, DiskError, DiskOp, DiskSpec};
+use ys_simcore::time::SimTime;
+
+/// Farm-wide drive index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DiskId(pub usize);
+
+/// A shelf of identical drives.
+#[derive(Clone, Debug)]
+pub struct DiskFarm {
+    disks: Vec<Disk>,
+    spec: DiskSpec,
+}
+
+impl DiskFarm {
+    pub fn new(count: usize, spec: DiskSpec) -> DiskFarm {
+        DiskFarm { disks: (0..count).map(|_| Disk::new(spec)).collect(), spec }
+    }
+
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Total raw capacity of healthy drives.
+    pub fn raw_capacity(&self) -> u64 {
+        self.disks.iter().filter(|d| !d.is_failed()).count() as u64 * self.spec.capacity_bytes
+    }
+
+    pub fn disk(&self, id: DiskId) -> &Disk {
+        &self.disks[id.0]
+    }
+
+    pub fn disk_mut(&mut self, id: DiskId) -> &mut Disk {
+        &mut self.disks[id.0]
+    }
+
+    pub fn submit(&mut self, id: DiskId, now: SimTime, op: DiskOp) -> Result<SimTime, DiskError> {
+        self.disks[id.0].submit(now, op)
+    }
+
+    pub fn fail(&mut self, id: DiskId) {
+        self.disks[id.0].fail();
+    }
+
+    pub fn replace(&mut self, id: DiskId) {
+        self.disks[id.0].replace();
+    }
+
+    pub fn failed_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_failed())
+            .map(|(i, _)| DiskId(i))
+    }
+
+    pub fn healthy_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_failed())
+            .map(|(i, _)| DiskId(i))
+    }
+
+    /// Max and mean utilization across drives — the farm-level hot-spot
+    /// indicator used by E5.
+    pub fn utilization_spread(&self, until: SimTime) -> (f64, f64) {
+        if self.disks.is_empty() {
+            return (0.0, 0.0);
+        }
+        let utils: Vec<f64> = self.disks.iter().map(|d| d.utilization(until)).collect();
+        let max = utils.iter().cloned().fold(0.0, f64::max);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        (max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn farm(n: usize) -> DiskFarm {
+        DiskFarm::new(n, DiskSpec::cheetah_73())
+    }
+
+    #[test]
+    fn farm_has_independent_queues() {
+        let mut f = farm(4);
+        let t0 = f.submit(DiskId(0), SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 1 << 20 }).unwrap();
+        let t1 = f.submit(DiskId(1), SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 1 << 20 }).unwrap();
+        assert_eq!(t0, t1, "disks service in parallel");
+        let t0b = f.submit(DiskId(0), SimTime::ZERO, DiskOp::Read { offset: 1 << 20, bytes: 1 << 20 }).unwrap();
+        assert!(t0b > t0, "same disk queues");
+    }
+
+    #[test]
+    fn capacity_excludes_failed_drives() {
+        let mut f = farm(3);
+        let full = f.raw_capacity();
+        f.fail(DiskId(1));
+        assert_eq!(f.raw_capacity(), full / 3 * 2);
+        assert_eq!(f.failed_disks().collect::<Vec<_>>(), vec![DiskId(1)]);
+        assert_eq!(f.healthy_disks().count(), 2);
+        f.replace(DiskId(1));
+        assert_eq!(f.raw_capacity(), full);
+    }
+
+    #[test]
+    fn utilization_spread_flags_hot_disk() {
+        let mut f = farm(4);
+        let mut t = SimTime::ZERO;
+        for i in 0..50u64 {
+            t = f.submit(DiskId(0), t, DiskOp::Read { offset: i * (1 << 20), bytes: 1 << 20 }).unwrap();
+        }
+        let (max, mean) = f.utilization_spread(t);
+        assert!(max > 0.9, "hot disk near saturation: {max}");
+        assert!(mean < 0.3, "others idle: {mean}");
+    }
+}

@@ -1,0 +1,15 @@
+//! `ys-simdisk` — physical disk and disk-farm models.
+//!
+//! Parameters follow a c. 2001 10k-RPM Fibre Channel drive (the class the
+//! paper's disk farms would have shipped with): ~5 ms average seek, 3 ms
+//! average rotational latency, ~50 MB/s media rate, 73 GB capacity.
+//!
+//! The model captures what the experiments need: the enormous gap between
+//! random and sequential service, per-disk FIFO queueing (hot disks back
+//! up), and failure/replacement for the RAID rebuild experiments.
+
+pub mod farm;
+pub mod model;
+
+pub use farm::{DiskFarm, DiskId};
+pub use model::{Disk, DiskError, DiskOp, DiskSpec};

@@ -1,0 +1,318 @@
+//! Single-disk service model.
+
+use ys_simcore::time::{Bandwidth, SimDuration, SimTime};
+
+/// Mechanical and interface parameters of one drive.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskSpec {
+    pub capacity_bytes: u64,
+    /// Shortest (track-to-track) seek.
+    pub min_seek: SimDuration,
+    /// Full-stroke seek.
+    pub max_seek: SimDuration,
+    /// One full platter rotation (6 ms at 10k RPM).
+    pub rotation: SimDuration,
+    /// Sustained media transfer rate.
+    pub media_rate: Bandwidth,
+    /// Controller/firmware fixed overhead per command.
+    pub command_overhead: SimDuration,
+}
+
+impl DiskSpec {
+    /// A c. 2001 10k-RPM, 73 GB Fibre Channel drive.
+    pub fn cheetah_73() -> DiskSpec {
+        DiskSpec {
+            capacity_bytes: 73 * 1000 * 1000 * 1000,
+            min_seek: SimDuration::from_micros(600),
+            max_seek: SimDuration::from_millis(11),
+            rotation: SimDuration::from_millis(6),
+            media_rate: Bandwidth::from_mbyte_per_sec(50),
+            command_overhead: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Seek time for a head movement spanning `distance` bytes of LBA space.
+    /// The classic concave model: `min + (max - min) * sqrt(d / capacity)`.
+    pub fn seek_time(&self, distance: u64) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let frac = (distance as f64 / self.capacity_bytes as f64).min(1.0);
+        let extra = (self.max_seek.nanos() - self.min_seek.nanos()) as f64 * frac.sqrt();
+        SimDuration::from_nanos(self.min_seek.nanos() + extra as u64)
+    }
+
+    /// Average rotational latency: half a revolution. Deterministic by
+    /// design — experiments must not depend on hidden randomness.
+    pub fn avg_rotation(&self) -> SimDuration {
+        self.rotation / 2
+    }
+}
+
+/// A disk command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskOp {
+    Read { offset: u64, bytes: u64 },
+    Write { offset: u64, bytes: u64 },
+}
+
+impl DiskOp {
+    pub fn offset(&self) -> u64 {
+        match *self {
+            DiskOp::Read { offset, .. } | DiskOp::Write { offset, .. } => offset,
+        }
+    }
+
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            DiskOp::Read { bytes, .. } | DiskOp::Write { bytes, .. } => bytes,
+        }
+    }
+
+    pub fn end(&self) -> u64 {
+        self.offset() + self.bytes()
+    }
+
+    pub fn is_write(&self) -> bool {
+        matches!(self, DiskOp::Write { .. })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// The drive has failed; commands are not serviced.
+    Failed,
+    /// Command extends past the end of the medium.
+    OutOfRange,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Failed => write!(f, "disk failed"),
+            DiskError::OutOfRange => write!(f, "I/O beyond end of medium"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// One drive: FIFO command queue plus head-position state.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    spec: DiskSpec,
+    /// Byte position where the head will rest after the queued commands.
+    head: u64,
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    failed: bool,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Disk {
+    pub fn new(spec: DiskSpec) -> Disk {
+        Disk {
+            spec,
+            head: 0,
+            busy_until: SimTime::ZERO,
+            busy_time: SimDuration::ZERO,
+            failed: false,
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Replace the drive with a fresh unit: empty, healthy, head at zero.
+    pub fn replace(&mut self) {
+        self.failed = false;
+        self.head = 0;
+        self.reads = 0;
+        self.writes = 0;
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+
+    pub fn next_free(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Pure service-time estimate (no queueing) for `op` given the current
+    /// head position.
+    pub fn service_time(&self, op: &DiskOp) -> SimDuration {
+        let positioning = if op.offset() == self.head {
+            // Sequential continuation: no seek, no rotational loss.
+            SimDuration::ZERO
+        } else {
+            let dist = op.offset().abs_diff(self.head);
+            self.spec.seek_time(dist) + self.spec.avg_rotation()
+        };
+        self.spec.command_overhead + positioning + self.spec.media_rate.transfer_time(op.bytes())
+    }
+
+    /// Queue `op` at `now`; returns its completion instant.
+    pub fn submit(&mut self, now: SimTime, op: DiskOp) -> Result<SimTime, DiskError> {
+        if self.failed {
+            return Err(DiskError::Failed);
+        }
+        if op.end() > self.spec.capacity_bytes {
+            return Err(DiskError::OutOfRange);
+        }
+        let start = now.max(self.busy_until);
+        let service = self.service_time(&op);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy_time += service;
+        self.head = op.end();
+        if op.is_write() {
+            self.writes += 1;
+            self.bytes_written += op.bytes();
+        } else {
+            self.reads += 1;
+            self.bytes_read += op.bytes();
+        }
+        Ok(done)
+    }
+
+    pub fn utilization(&self, until: SimTime) -> f64 {
+        let span = until.since(SimTime::ZERO);
+        if span.is_zero() {
+            0.0
+        } else {
+            (self.busy_time.as_secs_f64() / span.as_secs_f64()).min(1.0)
+        }
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::new(DiskSpec::cheetah_73())
+    }
+
+    #[test]
+    fn sequential_io_skips_positioning() {
+        let mut d = disk();
+        let t1 = d.submit(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 64 * 1024 }).unwrap();
+        let before = d.next_free();
+        let t2 = d.submit(t1, DiskOp::Read { offset: 64 * 1024, bytes: 64 * 1024 }).unwrap();
+        // Second op: overhead + transfer only.
+        let expect = before + d.spec.command_overhead + d.spec.media_rate.transfer_time(64 * 1024);
+        assert_eq!(t2, expect);
+    }
+
+    #[test]
+    fn random_io_pays_seek_and_rotation() {
+        let mut d = disk();
+        let seq = d.service_time(&DiskOp::Read { offset: 0, bytes: 4096 });
+        d.head = 0;
+        let rand = d.service_time(&DiskOp::Read { offset: 30_000_000_000, bytes: 4096 });
+        assert!(rand > seq + SimDuration::from_millis(5), "seq {seq} rand {rand}");
+    }
+
+    #[test]
+    fn random_4k_service_time_is_era_plausible() {
+        // A mid-stroke random 4 KiB read on a 10k-RPM drive should take
+        // roughly 6–12 ms (seek + half rotation + transfer).
+        let mut d = disk();
+        d.head = 0;
+        let s = d.service_time(&DiskOp::Read { offset: 36_000_000_000, bytes: 4096 });
+        let ms = s.as_millis_f64();
+        assert!((6.0..12.0).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    fn queueing_is_fifo() {
+        let mut d = disk();
+        let t1 = d.submit(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 1 << 20 }).unwrap();
+        let t2 = d.submit(SimTime::ZERO, DiskOp::Read { offset: 1 << 20, bytes: 1 << 20 }).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn failed_disk_rejects_io() {
+        let mut d = disk();
+        d.fail();
+        assert_eq!(d.submit(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 512 }), Err(DiskError::Failed));
+        d.replace();
+        assert!(d.submit(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 512 }).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = disk();
+        let cap = d.spec.capacity_bytes;
+        assert_eq!(
+            d.submit(SimTime::ZERO, DiskOp::Write { offset: cap - 100, bytes: 200 }),
+            Err(DiskError::OutOfRange)
+        );
+        assert!(d.submit(SimTime::ZERO, DiskOp::Write { offset: cap - 200, bytes: 200 }).is_ok());
+    }
+
+    #[test]
+    fn counters_track_reads_and_writes() {
+        let mut d = disk();
+        d.submit(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 1000 }).unwrap();
+        d.submit(SimTime::ZERO, DiskOp::Write { offset: 5000, bytes: 2000 }).unwrap();
+        assert_eq!((d.reads(), d.writes()), (1, 1));
+        assert_eq!((d.bytes_read(), d.bytes_written()), (1000, 2000));
+    }
+
+    #[test]
+    fn seek_time_is_monotone_and_bounded() {
+        let spec = DiskSpec::cheetah_73();
+        assert_eq!(spec.seek_time(0), SimDuration::ZERO);
+        let near = spec.seek_time(1_000_000);
+        let far = spec.seek_time(spec.capacity_bytes);
+        assert!(near >= spec.min_seek);
+        assert!(near < far);
+        assert!(far <= spec.max_seek);
+    }
+
+    #[test]
+    fn sustained_sequential_rate_approaches_media_rate() {
+        let mut d = disk();
+        let mut t = SimTime::ZERO;
+        let chunk = 1 << 20;
+        let total = 100u64;
+        for i in 0..total {
+            t = d.submit(t, DiskOp::Read { offset: i * chunk, bytes: chunk }).unwrap();
+        }
+        let rate = (total * chunk) as f64 / 1e6 / t.as_secs_f64();
+        assert!(rate > 45.0 && rate <= 50.0, "sequential rate {rate} MB/s");
+    }
+}

@@ -1,0 +1,255 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] is a FIFO serialization resource with a bandwidth, a
+//! propagation delay, and a fixed per-message overhead (framing, protocol
+//! processing). `transfer` answers the only question the simulation asks:
+//! *given the link's queue, when does this message start, finish
+//! serializing, and arrive at the far end?*
+//!
+//! Large streams are pipelined by chunking them into frames (see
+//! [`frames`]); per-frame store-and-forward then reproduces cut-through
+//! behaviour at frame granularity, which is how the real fabrics the paper
+//! cites (Fibre Channel, Ethernet) behave.
+
+use ys_simcore::time::{Bandwidth, SimDuration, SimTime};
+
+/// Immutable description of a link's performance envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay (speed-of-light + switch transit).
+    pub propagation: SimDuration,
+    /// Fixed cost charged per message (framing, interrupt, protocol stack).
+    pub per_message: SimDuration,
+}
+
+impl LinkSpec {
+    pub const fn new(bandwidth: Bandwidth, propagation: SimDuration, per_message: SimDuration) -> LinkSpec {
+        LinkSpec { bandwidth, propagation, per_message }
+    }
+
+    /// Unloaded one-way latency for a message of `bytes`.
+    pub fn unloaded_latency(&self, bytes: u64) -> SimDuration {
+        self.per_message + self.bandwidth.transfer_time(bytes) + self.propagation
+    }
+}
+
+/// Completed reservation on a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the message began serializing (after queueing).
+    pub start: SimTime,
+    /// When the last bit left the sender.
+    pub serialized: SimTime,
+    /// When the last bit arrived at the receiver.
+    pub arrival: SimTime,
+}
+
+impl Transfer {
+    pub fn queue_delay(&self, submitted: SimTime) -> SimDuration {
+        self.start.since(submitted)
+    }
+
+    pub fn total(&self, submitted: SimTime) -> SimDuration {
+        self.arrival.since(submitted)
+    }
+}
+
+/// A unidirectional FIFO link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    first_use: Option<SimTime>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Link {
+    pub fn new(spec: LinkSpec) -> Link {
+        Link {
+            spec,
+            busy_until: SimTime::ZERO,
+            busy_time: SimDuration::ZERO,
+            first_use: None,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Earliest instant a new message submitted now could begin serializing.
+    pub fn next_free(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Reserve the link for a message of `bytes` submitted at `now`.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Transfer {
+        let start = now.max(self.busy_until);
+        let serialize = self.spec.per_message + self.spec.bandwidth.transfer_time(bytes);
+        let serialized = start + serialize;
+        self.busy_until = serialized;
+        self.busy_time += serialize;
+        self.first_use.get_or_insert(now);
+        self.messages += 1;
+        self.bytes += bytes;
+        Transfer { start, serialized, arrival: serialized + self.spec.propagation }
+    }
+
+    /// Fraction of time the link was serializing, measured from first use to `until`.
+    pub fn utilization(&self, until: SimTime) -> f64 {
+        match self.first_use {
+            None => 0.0,
+            Some(first) => {
+                let span = until.since(first);
+                if span.is_zero() {
+                    0.0
+                } else {
+                    (self.busy_time.as_secs_f64() / span.as_secs_f64()).min(1.0)
+                }
+            }
+        }
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A full-duplex link: independent FIFO resources per direction.
+#[derive(Clone, Debug)]
+pub struct DuplexLink {
+    pub forward: Link,
+    pub reverse: Link,
+}
+
+impl DuplexLink {
+    pub fn new(spec: LinkSpec) -> DuplexLink {
+        DuplexLink { forward: Link::new(spec), reverse: Link::new(spec) }
+    }
+}
+
+/// Split a transfer of `total` bytes into frames of at most `frame` bytes.
+/// The final frame carries the remainder.
+pub fn frames(total: u64, frame: u64) -> impl Iterator<Item = u64> {
+    assert!(frame > 0, "frame size must be positive");
+    let full = total / frame;
+    let rem = total % frame;
+    (0..full).map(move |_| frame).chain((rem > 0).then_some(rem))
+}
+
+/// A multi-hop path: per-frame store-and-forward over each hop in order.
+///
+/// Returns the arrival of the last frame at the final hop. Because frames
+/// pipeline (frame *k+1* serializes on hop 0 while frame *k* serializes on
+/// hop 1), a long transfer's rate converges to the bottleneck link rate.
+pub fn path_transfer(links: &mut [&mut Link], now: SimTime, bytes: u64, frame: u64) -> Transfer {
+    assert!(!links.is_empty(), "path needs at least one hop");
+    let mut first_start: Option<SimTime> = None;
+    let mut last = Transfer { start: now, serialized: now, arrival: now };
+    for fr in frames(bytes.max(1), frame) {
+        let mut ready = now;
+        for link in links.iter_mut() {
+            let t = link.transfer(ready, fr);
+            ready = t.arrival;
+            if first_start.is_none() {
+                first_start = Some(t.start);
+            }
+            last = t;
+        }
+    }
+    Transfer { start: first_start.unwrap_or(now), serialized: last.serialized, arrival: last.arrival }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn fc2() -> LinkSpec {
+        catalog::fibre_channel_2g()
+    }
+
+    #[test]
+    fn unloaded_transfer_matches_spec_math() {
+        let mut l = Link::new(LinkSpec::new(
+            Bandwidth::from_gbit_per_sec(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_nanos(500),
+        ));
+        let t = l.transfer(SimTime::ZERO, 125_000); // 1 ms at 1 Gb/s
+        assert_eq!(t.start, SimTime::ZERO);
+        assert_eq!(t.serialized, SimTime(500 + 1_000_000));
+        assert_eq!(t.arrival, SimTime(500 + 1_000_000 + 1_000));
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_back_to_back() {
+        let mut l = Link::new(fc2());
+        let a = l.transfer(SimTime::ZERO, 1 << 20);
+        let b = l.transfer(SimTime::ZERO, 1 << 20);
+        assert_eq!(b.start, a.serialized, "second message waits for the first");
+        let c = l.transfer(b.serialized + SimDuration::from_secs(1), 1024);
+        assert_eq!(c.queue_delay(b.serialized + SimDuration::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let spec = LinkSpec::new(Bandwidth::from_gbit_per_sec(8), SimDuration::ZERO, SimDuration::ZERO);
+        let mut l = Link::new(spec);
+        // 1 MB at 8 Gb/s = 1 ms busy.
+        l.transfer(SimTime::ZERO, 1_000_000);
+        let u = l.utilization(SimTime(2_000_000));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+        assert_eq!(l.messages(), 1);
+        assert_eq!(l.bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn frames_cover_total_exactly() {
+        let total: u64 = frames(1_000_001, 64 * 1024).sum();
+        assert_eq!(total, 1_000_001);
+        assert_eq!(frames(0, 1024).count(), 0);
+        assert_eq!(frames(1024, 1024).count(), 1);
+        assert_eq!(frames(1025, 1024).count(), 2);
+    }
+
+    #[test]
+    fn path_pipelines_to_bottleneck_rate() {
+        // 10 MB over two hops: 10 Gb/s then 2 Gb/s. Pipelined time should be
+        // close to the 2 Gb/s serialization time (40 ms), far below the
+        // store-and-forward-whole-message sum (48 ms).
+        let mut a = Link::new(LinkSpec::new(Bandwidth::from_gbit_per_sec(10), SimDuration::ZERO, SimDuration::ZERO));
+        let mut b = Link::new(LinkSpec::new(Bandwidth::from_gbit_per_sec(2), SimDuration::ZERO, SimDuration::ZERO));
+        let t = path_transfer(&mut [&mut a, &mut b], SimTime::ZERO, 10_000_000, 64 * 1024);
+        let ms = t.total(SimTime::ZERO).as_millis_f64();
+        assert!(ms < 41.0, "took {ms} ms");
+        assert!(ms > 39.9, "took {ms} ms");
+    }
+
+    #[test]
+    fn path_single_hop_equals_link_transfer() {
+        let mut a = Link::new(fc2());
+        let mut b = Link::new(fc2());
+        let direct = a.transfer(SimTime::ZERO, 4096);
+        let via_path = path_transfer(&mut [&mut b], SimTime::ZERO, 4096, 1 << 20);
+        assert_eq!(direct.arrival, via_path.arrival);
+    }
+
+    #[test]
+    fn duplex_directions_are_independent() {
+        let mut d = DuplexLink::new(fc2());
+        let f = d.forward.transfer(SimTime::ZERO, 1 << 20);
+        let r = d.reverse.transfer(SimTime::ZERO, 1 << 20);
+        assert_eq!(f.start, SimTime::ZERO);
+        assert_eq!(r.start, SimTime::ZERO, "reverse direction does not queue behind forward");
+    }
+}

@@ -1,0 +1,25 @@
+//! `ys-virt` — storage virtualization (§3): virtual volumes over a shared
+//! physical pool, demand-mapped storage devices (DMSDs), snapshots, and
+//! charge-back accounting.
+//!
+//! "A mapping to a real disk would be created only when a particular
+//! virtual disk block is written to. When a virtual disk block becomes
+//! unused, the physical block is freed and returned to the pool."
+//!
+//! * [`extent`] — run-length [`ExtentMap`] with coalescing and splitting;
+//! * [`pool`] — refcounted [`PhysicalPool`] extent allocator (snapshots
+//!   share extents; reclaim happens at refcount zero);
+//! * [`volume`] — [`VirtualVolume`] (fixed or demand-mapped) + snapshots;
+//! * [`manager`] — [`VolumeManager`]: create/expand/delete, write with
+//!   demand mapping and redirect-on-write, unmap/TRIM, snapshot lifecycle,
+//!   and per-tenant charge-back.
+
+pub mod extent;
+pub mod manager;
+pub mod pool;
+pub mod volume;
+
+pub use extent::{ExtentMap, Run, Segment};
+pub use manager::{ChargebackLine, CopyRun, VirtError, VolumeManager, WriteEffect};
+pub use pool::{OutOfSpace, PhysicalPool};
+pub use volume::{Snapshot, SnapshotId, VirtualVolume, VolumeId, VolumeKind};

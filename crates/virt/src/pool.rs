@@ -1,0 +1,192 @@
+//! The shared physical extent pool with reference counting.
+//!
+//! §3: slack space "can be amortized across multiple DMSDs"; snapshots
+//! (§7.2) share physical extents between the live volume and the frozen
+//! image, so extents carry refcounts and are reclaimed at zero.
+
+/// Allocator over `total` physical extents with per-extent refcounts.
+#[derive(Clone, Debug)]
+pub struct PhysicalPool {
+    extent_bytes: u64,
+    refs: Vec<u32>,
+    free: Vec<u64>,
+    used: u64,
+}
+
+/// Pool exhaustion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutOfSpace {
+    pub requested: u64,
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool exhausted: requested {} extents, {} available", self.requested, self.available)
+    }
+}
+
+impl std::error::Error for OutOfSpace {}
+
+impl PhysicalPool {
+    pub fn new(total_extents: u64, extent_bytes: u64) -> PhysicalPool {
+        assert!(extent_bytes > 0);
+        PhysicalPool {
+            extent_bytes,
+            refs: vec![0; total_extents as usize],
+            // LIFO free list, seeded in reverse so allocation walks upward.
+            free: (0..total_extents).rev().collect(),
+            used: 0,
+        }
+    }
+
+    pub fn extent_bytes(&self) -> u64 {
+        self.extent_bytes
+    }
+
+    pub fn total_extents(&self) -> u64 {
+        self.refs.len() as u64
+    }
+
+    pub fn used_extents(&self) -> u64 {
+        self.used
+    }
+
+    pub fn free_extents(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used * self.extent_bytes
+    }
+
+    /// Allocate `count` extents (refcount 1 each). Returns them as
+    /// coalesced (start, len) runs for compact mapping.
+    pub fn allocate(&mut self, count: u64) -> Result<Vec<(u64, u64)>, OutOfSpace> {
+        if count > self.free.len() as u64 {
+            return Err(OutOfSpace { requested: count, available: self.free.len() as u64 });
+        }
+        let mut picked: Vec<u64> = (0..count).map(|_| self.free.pop().expect("checked length")).collect();
+        picked.sort_unstable();
+        for &e in &picked {
+            debug_assert_eq!(self.refs[e as usize], 0);
+            self.refs[e as usize] = 1;
+        }
+        self.used += count;
+        // Coalesce into runs.
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for e in picked {
+            match runs.last_mut() {
+                Some((start, len)) if *start + *len == e => *len += 1,
+                _ => runs.push((e, 1)),
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Increment the refcount of every extent in `[start, start+len)`
+    /// (snapshot sharing).
+    pub fn add_ref(&mut self, start: u64, len: u64) {
+        for e in start..start + len {
+            let r = &mut self.refs[e as usize];
+            assert!(*r > 0, "add_ref on free extent {e}");
+            *r += 1;
+        }
+    }
+
+    /// Decrement refcounts; extents reaching zero return to the free list.
+    /// Returns how many were actually freed.
+    pub fn release(&mut self, start: u64, len: u64) -> u64 {
+        let mut freed = 0;
+        for e in start..start + len {
+            let r = &mut self.refs[e as usize];
+            assert!(*r > 0, "release of free extent {e}");
+            *r -= 1;
+            if *r == 0 {
+                self.free.push(e);
+                self.used -= 1;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    pub fn refcount(&self, extent: u64) -> u32 {
+        self.refs[extent as usize]
+    }
+
+    /// Consistency check: used + free == total; refcounts agree with lists.
+    pub fn check(&self) -> Result<(), String> {
+        let counted_used = self.refs.iter().filter(|&&r| r > 0).count() as u64;
+        if counted_used != self.used {
+            return Err(format!("used counter {} != counted {}", self.used, counted_used));
+        }
+        if self.used + self.free.len() as u64 != self.total_extents() {
+            return Err("used + free != total".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut p = PhysicalPool::new(100, 1 << 20);
+        let runs = p.allocate(10).unwrap();
+        let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 10);
+        assert_eq!(p.used_extents(), 10);
+        assert_eq!(p.used_bytes(), 10 << 20);
+        for &(s, l) in &runs {
+            p.release(s, l);
+        }
+        assert_eq!(p.used_extents(), 0);
+        assert_eq!(p.free_extents(), 100);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn fresh_pool_allocates_contiguously() {
+        let mut p = PhysicalPool::new(64, 1 << 20);
+        let runs = p.allocate(16).unwrap();
+        assert_eq!(runs, vec![(0, 16)], "fresh pool yields one contiguous run");
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut p = PhysicalPool::new(5, 1 << 20);
+        p.allocate(3).unwrap();
+        let err = p.allocate(3).unwrap_err();
+        assert_eq!(err, OutOfSpace { requested: 3, available: 2 });
+        // Failed allocation leaves the pool untouched.
+        assert_eq!(p.free_extents(), 2);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn refcounted_sharing_delays_reclaim() {
+        let mut p = PhysicalPool::new(10, 1 << 20);
+        let runs = p.allocate(4).unwrap();
+        let (s, l) = runs[0];
+        p.add_ref(s, l); // snapshot now shares them
+        assert_eq!(p.refcount(s), 2);
+        assert_eq!(p.release(s, l), 0, "volume unmap frees nothing while snapshot lives");
+        assert_eq!(p.used_extents(), 4);
+        assert_eq!(p.release(s, l), l, "snapshot delete reclaims");
+        assert_eq!(p.used_extents(), 0);
+        p.check().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "release of free extent")]
+    fn double_free_panics() {
+        let mut p = PhysicalPool::new(4, 1 << 20);
+        let runs = p.allocate(1).unwrap();
+        let (s, l) = runs[0];
+        p.release(s, l);
+        p.release(s, l);
+    }
+}

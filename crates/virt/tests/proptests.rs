@@ -1,0 +1,120 @@
+//! Property tests for the virtualization layer: extent-map algebra and
+//! pool accounting under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use ys_virt::{ExtentMap, PhysicalPool, VolumeKind, VolumeManager};
+
+proptest! {
+    /// Mapping then unmapping arbitrary disjoint ranges always round-trips:
+    /// the map ends empty and every physical extent is released exactly once.
+    #[test]
+    fn extent_map_roundtrip(ranges in proptest::collection::vec((0u64..1000, 1u64..50), 1..40)) {
+        let mut m = ExtentMap::new();
+        let mut next_phys = 0u64;
+        let mut mapped: Vec<(u64, u64)> = Vec::new();
+        for (start, len) in ranges {
+            // Only map the holes within the requested range.
+            let holes: Vec<(u64, u64)> = m
+                .segments(start, len)
+                .iter()
+                .filter(|s| !s.is_mapped())
+                .map(|s| match *s {
+                    ys_virt::Segment::Hole { vstart, len } => (vstart, len),
+                    _ => unreachable!(),
+                })
+                .collect();
+            for (hs, hl) in holes {
+                m.map(hs, next_phys, hl);
+                mapped.push((hs, hl));
+                next_phys += hl;
+            }
+            m.check().map_err(TestCaseError::fail)?;
+        }
+        let total_mapped: u64 = m.mapped_extents();
+        let released: u64 = m.unmap(0, 2000).iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(released, total_mapped);
+        prop_assert_eq!(m.mapped_extents(), 0);
+        m.check().map_err(TestCaseError::fail)?;
+    }
+
+    /// translate agrees with segments for every mapped address.
+    #[test]
+    fn translate_agrees_with_segments(ops in proptest::collection::vec((0u64..200, 1u64..20), 1..20)) {
+        let mut m = ExtentMap::new();
+        let mut next_phys = 1000u64;
+        for (start, len) in ops {
+            let holes: Vec<(u64, u64)> = m.segments(start, len).iter()
+                .filter(|s| !s.is_mapped())
+                .map(|s| match *s { ys_virt::Segment::Hole { vstart, len } => (vstart, len), _ => unreachable!() })
+                .collect();
+            for (hs, hl) in holes {
+                m.map(hs, next_phys, hl);
+                next_phys += hl;
+            }
+        }
+        for seg in m.segments(0, 300) {
+            if let ys_virt::Segment::Mapped { vstart, pstart, len } = seg {
+                for i in 0..len {
+                    prop_assert_eq!(m.translate(vstart + i), Some(pstart + i));
+                }
+            }
+        }
+    }
+
+    /// Pool invariant: used + free == total after any alloc/release mix,
+    /// and the manager's physical usage equals the sum of all mappings.
+    #[test]
+    fn pool_accounting_balances(
+        ops in proptest::collection::vec((0u8..4, 0u64..50, 1u64..20), 1..60),
+    ) {
+        let mut m = VolumeManager::new(PhysicalPool::new(4096, 1 << 20));
+        let vol = m.create("p", 0, VolumeKind::DemandMapped, 2000).unwrap();
+        let mut snaps = Vec::new();
+        for (kind, off, len) in ops {
+            let off = off.min(2000 - len);
+            match kind {
+                0 | 1 => { let _ = m.write(vol, off, len); }
+                2 => { let _ = m.unmap(vol, off, len); }
+                _ => {
+                    if snaps.len() < 4 {
+                        snaps.push(m.snapshot(vol).unwrap());
+                    } else if let Some(s) = snaps.pop() {
+                        let _ = m.delete_snapshot(vol, s);
+                    }
+                }
+            }
+            m.check().map_err(TestCaseError::fail)?;
+        }
+        // Cleanup returns every extent.
+        for s in snaps {
+            m.delete_snapshot(vol, s).unwrap();
+        }
+        m.delete(vol).unwrap();
+        prop_assert_eq!(m.pool().used_extents(), 0);
+        m.check().map_err(TestCaseError::fail)?;
+    }
+
+    /// DMSD physical consumption equals exactly the set of extents ever
+    /// written and not since unmapped.
+    #[test]
+    fn dmsd_usage_matches_written_set(writes in proptest::collection::vec((0u64..100, 1u64..10, any::<bool>()), 1..40)) {
+        let mut m = VolumeManager::new(PhysicalPool::new(1024, 1 << 20));
+        let vol = m.create("d", 0, VolumeKind::DemandMapped, 128).unwrap();
+        let mut live = std::collections::HashSet::new();
+        for (off, len, is_unmap) in writes {
+            let off = off.min(128 - len);
+            if is_unmap {
+                m.unmap(vol, off, len).unwrap();
+                for e in off..off + len {
+                    live.remove(&e);
+                }
+            } else {
+                m.write(vol, off, len).unwrap();
+                for e in off..off + len {
+                    live.insert(e);
+                }
+            }
+            prop_assert_eq!(m.pool().used_extents(), live.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A national-lab research campaign across three sites (the paper's §1
+//! motivation): a supercomputer at the metro site produces simulation
+//! output; collaborators at the regional and continental sites analyse it;
+//! per-file policies decide what is protected how much; finally a disaster
+//! drill destroys the metro site.
+//!
+//! ```text
+//! cargo run --release -p ys-core --example lab_campaign
+//! ```
+
+use ys_core::{NetStorage, NetStorageConfig};
+use ys_geo::SiteId;
+use ys_pfs::{FilePolicy, GeoMode, GeoPolicy};
+use ys_simcore::time::SimTime;
+
+const MB: u64 = 1 << 20;
+
+fn main() {
+    let mut ns = NetStorage::new(NetStorageConfig::default());
+    let metro = SiteId(0);
+    let regional = SiteId(1);
+    let continental = SiteId(2);
+    let mut t = SimTime::ZERO;
+
+    // --- 1. The campaign's file classes, policy per class (§4) ---
+    // Checkpoints: critical — synchronous replica at the nearest site,
+    // async copy far away, triple write-back protection.
+    let checkpoint_policy = {
+        let mut p = FilePolicy::critical();
+        p.geo = GeoPolicy { mode: GeoMode::Synchronous, site_copies: 3, min_distance_km: 0.0, preferred_sites: vec![] };
+        p
+    };
+    // Derived analysis products: async replication is plenty.
+    let mut product_policy = FilePolicy::default();
+    product_policy.geo = GeoPolicy::async_(2);
+    // Scratch: RAID-0, no replication, first to evict.
+    let scratch_policy = FilePolicy::scratch();
+
+    ns.create_file("/campaign-ckpt.bin", checkpoint_policy, metro).unwrap();
+    ns.create_file("/campaign-products.h5", product_policy, metro).unwrap();
+    ns.create_file("/campaign-scratch.tmp", scratch_policy, metro).unwrap();
+
+    // --- 2. The supercomputer writes an output burst at the metro site ---
+    println!("== simulation output burst at {} ==", ns.topology.site(metro).name);
+    for (path, chunks) in [("/campaign-ckpt.bin", 16u64), ("/campaign-products.h5", 32), ("/campaign-scratch.tmp", 32)] {
+        let mut total = ys_simcore::SimDuration::ZERO;
+        for k in 0..chunks {
+            let w = ns.write_file(t, metro, 0, path, k * 4 * MB, 4 * MB).unwrap();
+            total += w.latency;
+            t = w.done;
+        }
+        println!("  {path}: {chunks} x 4 MiB written, mean ack {}", total / chunks);
+    }
+    println!(
+        "  sync replicas written: {}, async journal entries: {}",
+        ns.stats.sync_replica_writes, ns.stats.async_writes_enqueued
+    );
+
+    // --- 3. Collaborators read: first reference migrates, then local ---
+    println!("\n== analysis at {} ==", ns.topology.site(continental).name);
+    let first = ns.read_file(t, continental, 0, "/campaign-products.h5", 0, 16 * MB).unwrap();
+    t = first.done;
+    let second = ns.read_file(t, continental, 0, "/campaign-products.h5", 0, 16 * MB).unwrap();
+    t = second.done;
+    println!("  first reference (WAN migration): {}", first.latency);
+    println!("  second access (local copy):      {}", second.latency);
+
+    // --- 4. Background replication catches up ---
+    let shipped_by = ns.ship_async(t, u64::MAX).unwrap();
+    t = t.max(shipped_by);
+    println!("\n== async replication drained by t={shipped_by} ==");
+
+    // --- 5. Disaster drill: the metro site burns down (§6.2) ---
+    println!("\n== DISASTER DRILL: {} goes dark ==", ns.topology.site(metro).name);
+    let report = ns.fail_site(metro);
+    println!("  async writes lost in flight: {}", report.async_writes_lost);
+    println!("  files whose last copy died:  {:?}", report.files_lost);
+    for path in ["/campaign-ckpt.bin", "/campaign-products.h5", "/campaign-scratch.tmp"] {
+        match ns.read_file(t, regional, 0, path, 0, 4 * MB) {
+            Ok(c) => println!("  {path}: recovered at {} in {}", ns.topology.site(regional).name, c.latency),
+            Err(e) => println!("  {path}: LOST ({e})"),
+        }
+    }
+    println!("\nThe checkpoint survived (sync replica); scratch died with the site — exactly its policy.");
+}

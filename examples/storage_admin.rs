@@ -1,0 +1,94 @@
+//! A day in the life of the storage administrator (§3, §5, §2.4): carve
+//! thin volumes for three departments, mask them to their owners, take
+//! snapshots, bill by actual use, and survive a disk failure with a
+//! distributed rebuild — all on one shared pool.
+//!
+//! ```text
+//! cargo run --release -p ys-core --example storage_admin
+//! ```
+
+use ys_core::{BladeCluster, ClusterConfig, Rebuilder};
+use ys_security::{AuthService, ControlCommand, InitiatorId, LunMask, PortZone, Role};
+use ys_simcore::time::SimTime;
+use ys_simdisk::DiskId;
+use ys_cache::Retention;
+
+const GB: u64 = 1 << 30;
+const MB: u64 = 1 << 20;
+
+fn main() {
+    let mut cluster = BladeCluster::new(ClusterConfig::default().with_blades(8).with_disks(24));
+
+    // --- 1. Authentication and the fortified ring (§5) ---
+    let mut auth = AuthService::new(0xC0FFEE);
+    let admin = auth.register("ops", 0, Role::Admin, 101);
+    let physics = auth.register("physics-pi", 1, Role::User, 102);
+    let now = SimTime::ZERO;
+    let admin_token = {
+        let resp = auth.client_response(admin, 7).unwrap();
+        auth.login(admin, 7, resp, now, 3_600_000_000_000).unwrap()
+    };
+    let user_token = {
+        let resp = auth.client_response(physics, 9).unwrap();
+        auth.login(physics, 9, resp, now, 3_600_000_000_000).unwrap()
+    };
+    assert!(auth.authorize(&admin_token, Role::Admin, now).is_ok());
+    assert!(auth.authorize(&user_token, Role::Admin, now).is_err(), "users cannot reach the control plane");
+    println!("auth: admin token verified; user denied control-plane access");
+
+    // --- 2. Thin provisioning for three departments (§3) ---
+    let physics_vol = cluster.create_volume("physics", 1, 200 * GB).unwrap();
+    let biology_vol = cluster.create_volume("biology", 2, 200 * GB).unwrap();
+    let archive_vol = cluster.create_volume("archive", 3, 500 * GB).unwrap();
+    println!(
+        "provisioned 900 GB across 3 DMSDs; physical use: {} MiB",
+        cluster.pool_used_bytes() >> 20
+    );
+
+    // --- 3. LUN masking + zoning (§5) ---
+    let mut mask = LunMask::new();
+    mask.grant(InitiatorId(1), physics_vol);
+    mask.grant(InitiatorId(2), biology_vol);
+    mask.grant(InitiatorId(3), archive_vol);
+    mask.set_zone(0, PortZone::HostSide);
+    mask.set_zone(9, PortZone::Management);
+    mask.disable_inband(0, ControlCommand::DeleteVolume);
+    assert!(mask.check_access(InitiatorId(1), physics_vol).is_ok());
+    assert!(mask.check_access(InitiatorId(1), biology_vol).is_err());
+    assert!(mask.check_inband(0, ControlCommand::DeleteVolume).is_err());
+    assert!(mask.check_inband(9, ControlCommand::DeleteVolume).is_ok());
+    println!("masking: physics sees only its volume; in-band delete disabled on host ports");
+
+    // --- 4. Departments actually use some space ---
+    let mut t = now;
+    for (vol, mb) in [(physics_vol, 96u64), (biology_vol, 32), (archive_vol, 160)] {
+        for k in 0..mb {
+            t = cluster.write(t, 0, vol, k * MB, MB, 2, Retention::Normal).unwrap().done;
+        }
+    }
+    t = cluster.drain().max(t);
+
+    // --- 5. Snapshot + charge-back (§3, §7.2) ---
+    let snap = cluster.snapshot_volume(physics_vol).unwrap();
+    println!("snapshot {snap:?} of physics taken (zero-copy)");
+    println!("charge-back (provisioned vs billed):");
+    for line in cluster.chargeback() {
+        println!(
+            "  tenant {}: provisioned {:>6} MiB, billed {:>5} MiB",
+            line.tenant,
+            line.provisioned_bytes >> 20,
+            line.actual_bytes >> 20
+        );
+    }
+
+    // --- 6. Disk dies; distributed rebuild across 6 blades (§2.4) ---
+    println!("\ndisk 11 failed — rebuilding across 6 blades while I/O continues");
+    cluster.fail_disk(DiskId(11));
+    let degraded = cluster.read(t, 0, physics_vol, 0, MB).unwrap();
+    println!("  degraded read still served in {}", degraded.latency);
+    let mut rebuild = Rebuilder::new(&mut cluster, t, DiskId(11), 256 * MB, &[0, 1, 2, 3, 4, 5], 64);
+    let finished = rebuild.run(&mut cluster).unwrap();
+    println!("  rebuild of 256 MiB region finished at t={finished} (progress {:.0}%)", rebuild.progress() * 100.0);
+    assert!(!cluster.failed_disks()[11]);
+    println!("  array healthy again");
+}

@@ -1,0 +1,285 @@
+//! End-to-end single-site integration: the full data path from client I/O
+//! through cache coherence, virtualization, RAID, and disks — including
+//! failure injection mid-workload.
+
+use ys_cache::Retention;
+use ys_core::{BladeCluster, ClusterConfig, Rebuilder};
+use ys_proto::Workload;
+use ys_simcore::time::{SimDuration, SimTime};
+use ys_simdisk::DiskId;
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+fn cluster() -> BladeCluster {
+    BladeCluster::new(ClusterConfig::default().with_blades(6).with_disks(12).with_clients(4))
+}
+
+#[test]
+fn mixed_workload_survives_blade_failure_without_data_loss() {
+    let mut c = cluster();
+    let vol = c.create_volume("data", 0, 4 * GB).unwrap();
+    let mut wl = Workload::random(256 * MB, 64 * KB, 0.5, 11);
+    let mut t = SimTime::ZERO;
+    for i in 0..400 {
+        let op = wl.next_op();
+        t = if op.write {
+            c.write(t, i % 4, vol, op.offset, op.len, 2, Retention::Normal).unwrap().done
+        } else {
+            c.read(t, i % 4, vol, op.offset, op.len).unwrap().done
+        };
+        // Kill blades 0 and then 3 mid-stream.
+        if i == 150 {
+            let r = c.fail_blade(t, 0);
+            assert!(r.lost.is_empty(), "2-way replication covers a single blade loss");
+        }
+        if i == 300 {
+            // Blade 0 already dead; its replicas were promoted. Another
+            // independent failure may catch pages whose replica chain was
+            // [0, 3]; stats track it either way.
+            c.fail_blade(t, 3);
+        }
+    }
+    // The cluster kept serving: all 400 ops completed.
+    assert_eq!(c.stats.read_meter.ops() + c.stats.write_meter.ops(), 400);
+    // First failure must lose nothing.
+    assert_eq!(c.stats.dirty_pages_lost, 0, "replication factor was never exceeded by concurrent failures");
+}
+
+#[test]
+fn cache_pressure_forces_destage_but_never_corrupts() {
+    // Tiny cache: writes quickly saturate it with dirty pages and force
+    // destage-backpressure paths.
+    let cfg = ClusterConfig::default().with_blades(2).with_disks(8).with_cache_pages(16);
+    let mut c = BladeCluster::new(cfg);
+    let vol = c.create_volume("v", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..200u64 {
+        let w = c.write(t, 0, vol, i * 64 * KB, 64 * KB, 2, Retention::Normal).unwrap();
+        t = w.done;
+    }
+    c.cache.check_invariants().unwrap();
+    let end = c.drain();
+    assert!(end >= t);
+    c.cache.check_invariants().unwrap();
+    // Everything that was written is physically allocated.
+    assert_eq!(c.pool_used_extents(), (200 * 64 * KB).div_ceil(1 << 20));
+}
+
+#[test]
+fn degraded_operation_then_rebuild_then_clean_reads() {
+    let mut c = cluster();
+    let vol = c.create_volume("v", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..64u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 2, Retention::Normal).unwrap().done;
+    }
+    t = c.drain().max(t);
+
+    // Disk dies: reads continue degraded.
+    c.fail_disk(DiskId(5));
+    let degraded = c.read(t, 0, vol, 0, MB).unwrap();
+    t = degraded.done;
+
+    // Distributed rebuild brings it back.
+    let mut r = Rebuilder::new(&mut c, t, DiskId(5), 64 * MB, &[0, 1, 2], 64);
+    let finished = r.run(&mut c).unwrap();
+    assert!(r.is_done());
+    assert!(!c.failed_disks()[5]);
+
+    // Clean read afterwards (cold cache path exercises RAID normally).
+    for b in 0..6 {
+        c.fail_blade(finished, b);
+    }
+    for b in 0..6 {
+        c.repair_blade(b);
+    }
+    let clean = c.read(finished, 0, vol, 0, MB).unwrap();
+    assert!(clean.latency > SimDuration::ZERO);
+}
+
+#[test]
+fn thin_provisioning_and_unmap_round_trip_through_the_stack() {
+    let mut c = cluster();
+    let vol = c.create_volume("thin", 7, 100 * GB).unwrap();
+    assert_eq!(c.pool_used_extents(), 0);
+    let mut t = SimTime::ZERO;
+    for i in 0..32u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 1, Retention::Normal).unwrap().done;
+    }
+    assert_eq!(c.pool_used_extents(), 32);
+    let freed = c.unmap_volume(vol, 0, 16).unwrap();
+    assert_eq!(freed, 16);
+    assert_eq!(c.pool_used_extents(), 16);
+    // Charge-back agrees.
+    let bill = c.chargeback();
+    assert_eq!(bill[0].actual_bytes, 16 << 20);
+}
+
+#[test]
+fn retention_policy_protects_pinned_files_from_eviction() {
+    // A small cache, one Pinned page set (§4's strongest retention
+    // override) and a flood of Low-retention traffic: the pinned pages
+    // survive; an un-pinned control set of the same age does not.
+    let cfg = ClusterConfig::default().with_blades(1).with_disks(8).with_cache_pages(32);
+    let mut c = BladeCluster::new(cfg);
+    let vol = c.create_volume("v", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    // 8 hot pages, pinned; 8 control pages, normal retention.
+    for i in 0..8u64 {
+        t = c.write(t, 0, vol, i * 64 * KB, 64 * KB, 1, Retention::Pinned).unwrap().done;
+    }
+    for i in 32..40u64 {
+        t = c.write(t, 0, vol, i * 64 * KB, 64 * KB, 1, Retention::Normal).unwrap().done;
+    }
+    t = c.drain().max(t);
+    // Flood with 64 low-retention pages.
+    for i in 100..164u64 {
+        t = c.write(t, 0, vol, i * 64 * KB, 64 * KB, 1, Retention::Low).unwrap().done;
+    }
+    t = c.drain().max(t);
+    // The pinned pages must still be cache hits.
+    let before = c.stats.reads_from_disk;
+    for i in 0..8u64 {
+        t = c.read(t, 0, vol, i * 64 * KB, 64 * KB).unwrap().done;
+    }
+    assert_eq!(c.stats.reads_from_disk, before, "pinned pages were evicted");
+    // The normal-retention control pages were (at least partly) displaced.
+    for i in 32..40u64 {
+        t = c.read(t, 0, vol, i * 64 * KB, 64 * KB).unwrap().done;
+    }
+    assert!(c.stats.reads_from_disk > before, "flood should displace unpinned pages");
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_results() {
+    let run = || {
+        let mut c = cluster();
+        let vol = c.create_volume("v", 0, GB).unwrap();
+        let mut wl = Workload::zipf(128 * MB, 64 * KB, 0.9, 0.3, 77);
+        let mut t = SimTime::ZERO;
+        for i in 0..300 {
+            let op = wl.next_op();
+            t = if op.write {
+                c.write(t, i % 4, vol, op.offset, op.len, 2, Retention::Normal).unwrap().done
+            } else {
+                c.read(t, i % 4, vol, op.offset, op.len).unwrap().done
+            };
+        }
+        (t, c.stats.read_latency.p99(), c.stats.reads_from_disk, c.pool_used_extents())
+    };
+    assert_eq!(run(), run(), "simulation must be a pure function of (config, seed)");
+}
+
+#[test]
+fn rolling_upgrade_never_stops_service() {
+    // §6.3: "Upgrades could be applied incrementally across the system
+    // removing the need for planned down time." Take each blade down in
+    // turn (upgrade), while a mixed workload keeps running; nothing is
+    // lost and every op completes.
+    let mut c = cluster();
+    let vol = c.create_volume("v", 0, 4 * GB).unwrap();
+    let mut wl = Workload::random(128 * MB, 64 * KB, 0.5, 23);
+    let mut t = SimTime::ZERO;
+    let blades = 6;
+    let ops_per_phase = 40;
+    for upgrade_target in 0..blades {
+        // Take the blade down for its "upgrade".
+        let report = c.fail_blade(t, upgrade_target);
+        assert!(report.lost.is_empty(), "draining a blade must not lose data (2-way replication)");
+        for i in 0..ops_per_phase {
+            let op = wl.next_op();
+            t = if op.write {
+                c.write(t, i % 4, vol, op.offset, op.len, 2, Retention::Normal).unwrap().done
+            } else {
+                c.read(t, i % 4, vol, op.offset, op.len).unwrap().done
+            };
+        }
+        // Upgrade finished; blade rejoins empty.
+        c.repair_blade(upgrade_target);
+        c.cache.check_invariants().unwrap();
+    }
+    assert_eq!(c.stats.dirty_pages_lost, 0, "a rolling upgrade is loss-free");
+    assert_eq!(
+        c.stats.read_meter.ops() + c.stats.write_meter.ops(),
+        (blades * ops_per_phase) as u64,
+        "service never paused"
+    );
+}
+
+#[test]
+fn snapshot_isolation_survives_live_writes() {
+    // §7.2: "The copy could then be accessed as an alternate virtual disk."
+    let mut c = cluster();
+    let vol = c.create_volume("db", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..16u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 1, Retention::Normal).unwrap().done;
+    }
+    let used_before = c.pool_used_extents();
+    let snap = c.snapshot_volume(vol).unwrap();
+    assert_eq!(c.pool_used_extents(), used_before, "snapshot is zero-copy");
+    // Live writes diverge (redirect-on-write allocates new extents).
+    for i in 0..8u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 1, Retention::Normal).unwrap().done;
+    }
+    assert_eq!(c.pool_used_extents(), used_before + 8, "8 extents redirected");
+    // Dropping the snapshot reclaims the frozen-only extents.
+    let freed = c.delete_snapshot(vol, snap).unwrap();
+    assert_eq!(freed, 8);
+    assert_eq!(c.pool_used_extents(), used_before);
+    let _ = t;
+}
+
+#[test]
+fn live_volume_migration_is_host_transparent() {
+    // §3: a virtual volume can be "moved ... independent of the storage
+    // subsystems on which it resides". Relocate data under a live volume;
+    // reads keep working and accounting is unchanged.
+    let mut c = cluster();
+    let vol = c.create_volume("hot", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..16u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 1, Retention::Normal).unwrap().done;
+    }
+    t = c.drain().max(t);
+    let used_before = c.pool_used_extents();
+    let (moved, done) = c.migrate_volume_data(t, 0, vol, 0, 16).unwrap();
+    assert_eq!(moved, 16);
+    assert!(done > t, "copies take time");
+    assert_eq!(c.pool_used_extents(), used_before, "no extent leak");
+    // The host keeps reading the same virtual addresses.
+    let r = c.read(done, 0, vol, 0, MB).unwrap();
+    assert!(r.latency > SimDuration::ZERO);
+}
+
+#[test]
+fn rollback_gives_instant_recovery_from_corruption() {
+    // The §7.2 snapshot as "an alternate virtual disk", plus the [1]
+    // SnapRestore-style instant recovery: after a bad batch of writes, the
+    // volume rolls back to the snapshot and reads stop seeing the
+    // corrupted mapping.
+    let mut c = cluster();
+    let vol = c.create_volume("db", 0, GB).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..12u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 2, Retention::Normal).unwrap().done;
+    }
+    t = c.drain().max(t);
+    let snap = c.snapshot_volume(vol).unwrap();
+    let used_at_snap = c.pool_used_extents();
+    // "Corruption": a runaway job rewrites and extends the volume.
+    for i in 0..20u64 {
+        t = c.write(t, 0, vol, i * MB, MB, 2, Retention::Normal).unwrap().done;
+    }
+    t = c.drain().max(t);
+    assert!(c.pool_used_extents() > used_at_snap);
+    let freed = c.rollback_volume(vol, snap).unwrap();
+    assert!(freed >= 12, "diverged extents reclaimed, freed {freed}");
+    assert_eq!(c.pool_used_extents(), used_at_snap);
+    // The volume still serves reads (from the restored mapping, cold cache).
+    let r = c.read(t, 0, vol, 0, MB).unwrap();
+    assert!(r.latency > SimDuration::ZERO);
+    c.cache.check_invariants().unwrap();
+}
