@@ -101,26 +101,18 @@ pub fn e3_geo_deploy() -> Vec<Series> {
     let home = SiteId(0);
     // Tier policies: metro sync, continental sync (min distance), async far, none.
     let tiers: Vec<(&str, FilePolicy)> = vec![
-        ("local-only", {
-            let mut p = FilePolicy::default();
-            p.geo = GeoPolicy::none();
-            p
+        ("local-only", FilePolicy { geo: GeoPolicy::none(), ..FilePolicy::default() }),
+        ("sync-metro", FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() }),
+        ("sync-continental", FilePolicy {
+            geo: GeoPolicy {
+                mode: GeoMode::Synchronous,
+                site_copies: 2,
+                min_distance_km: 500.0,
+                preferred_sites: vec![],
+            },
+            ..FilePolicy::default()
         }),
-        ("sync-metro", {
-            let mut p = FilePolicy::default();
-            p.geo = GeoPolicy::sync(2);
-            p
-        }),
-        ("sync-continental", {
-            let mut p = FilePolicy::default();
-            p.geo = GeoPolicy { mode: GeoMode::Synchronous, site_copies: 2, min_distance_km: 500.0, preferred_sites: vec![] };
-            p
-        }),
-        ("async-far", {
-            let mut p = FilePolicy::default();
-            p.geo = GeoPolicy::async_(2);
-            p
-        }),
+        ("async-far", FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() }),
     ];
     let mut lat = Series::new("E3 write latency (ms) per tier: 0=local 1=sync-metro 2=sync-continental 3=async");
     let mut t = SimTime::ZERO;
@@ -175,9 +167,7 @@ pub fn e4_scaling() -> Vec<Series> {
     // Legacy baseline: the best a traditional array offers is 2 controllers.
     let mut legacy = Series::new("E4 baseline: legacy dual-controller MB/s (flat)");
     for controllers in [1usize, 2] {
-        let mut cfg = LegacyConfig::default();
-        cfg.controllers = controllers;
-        let mut a = LegacyArray::new(cfg);
+        let mut a = LegacyArray::new(LegacyConfig { controllers, ..LegacyConfig::default() });
         let mut t = SimTime::ZERO;
         for off in (0..working_set).step_by(io as usize) {
             a.write(t, 0, off, io);
@@ -396,10 +386,8 @@ pub fn e9_georep() -> Vec<Series> {
             topology: topo,
             ..NetStorageConfig::default()
         });
-        let mut sp = FilePolicy::default();
-        sp.geo = GeoPolicy::sync(2);
-        let mut ap = FilePolicy::default();
-        ap.geo = GeoPolicy::async_(2);
+        let sp = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
+        let ap = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
         ns.create_file("/sync", sp, SiteId(0)).unwrap();
         ns.create_file("/async", ap, SiteId(0)).unwrap();
         let mut t = SimTime::ZERO;
@@ -424,8 +412,7 @@ pub fn e9_georep() -> Vec<Series> {
             site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
             ..NetStorageConfig::default()
         });
-        let mut sp = FilePolicy::default();
-        sp.geo = GeoPolicy::sync(2);
+        let sp = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
         ns.create_file("/s", sp, SiteId(0)).unwrap();
         let mut t = SimTime::ZERO;
         for i in 0..100u64 {
@@ -439,8 +426,7 @@ pub fn e9_georep() -> Vec<Series> {
             site_cluster: ClusterConfig::default().with_blades(2).with_disks(6).with_clients(2),
             ..NetStorageConfig::default()
         });
-        let mut ap = FilePolicy::default();
-        ap.geo = GeoPolicy::async_(2);
+        let ap = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
         ns.create_file("/a", ap, SiteId(0)).unwrap();
         let mut t = SimTime::ZERO;
         for i in 0..100u64 {
@@ -464,8 +450,10 @@ pub fn e9_georep() -> Vec<Series> {
             ..NetStorageConfig::default()
         });
         for f in 0..10 {
-            let mut pol = FilePolicy::default();
-            pol.geo = if volume_level || f < 2 { GeoPolicy::async_(2) } else { GeoPolicy::none() };
+            let pol = FilePolicy {
+                geo: if volume_level || f < 2 { GeoPolicy::async_(2) } else { GeoPolicy::none() },
+                ..FilePolicy::default()
+            };
             ns.create_file(&format!("/f{f}"), pol, SiteId(0)).unwrap();
         }
         let mut t = SimTime::ZERO;

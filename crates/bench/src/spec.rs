@@ -3,20 +3,58 @@
 //! configurations without writing Rust (`cargo run -p ys-bench --bin
 //! simulate -- spec.json`).
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use ys_core::{BladeCluster, ClusterConfig, LoadBalance};
 use ys_proto::Workload;
 use ys_simcore::fault::{FaultPlan, FaultTarget};
 use ys_simcore::time::{SimDuration, SimTime};
 
+// The serde shim has no derive macros (no proc-macro stack offline), so the
+// spec types implement Serialize/Deserialize by hand with the same JSON
+// shape the derives produced: lowercase enum names, snake_case externally
+// tagged fault variants, per-field defaults, unknown fields ignored.
+
+/// Read `key` from a JSON object, falling back to `default` when absent.
+fn field<T: Deserialize>(v: &Value, key: &str, default: impl FnOnce() -> T) -> Result<T, DeError> {
+    match v.get(key) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+        }
+        None => Ok(default()),
+    }
+}
+
 /// RAID level by name.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
-#[serde(rename_all = "lowercase")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RaidSpec {
     Raid0,
     Raid1,
     Raid5,
     Raid6,
+}
+
+impl Serialize for RaidSpec {
+    fn to_value(&self) -> Value {
+        let name = match self {
+            RaidSpec::Raid0 => "raid0",
+            RaidSpec::Raid1 => "raid1",
+            RaidSpec::Raid5 => "raid5",
+            RaidSpec::Raid6 => "raid6",
+        };
+        Value::Str(name.to_owned())
+    }
+}
+
+impl Deserialize for RaidSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("raid0") => Ok(RaidSpec::Raid0),
+            Some("raid1") => Ok(RaidSpec::Raid1),
+            Some("raid5") => Ok(RaidSpec::Raid5),
+            Some("raid6") => Ok(RaidSpec::Raid6),
+            other => Err(DeError::custom(format!("unknown raid level {other:?}"))),
+        }
+    }
 }
 
 impl RaidSpec {
@@ -31,58 +69,147 @@ impl RaidSpec {
 }
 
 /// Workload pattern by name.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
-#[serde(rename_all = "lowercase")]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PatternSpec {
     Sequential,
     Random,
     Zipf,
 }
 
-/// One scheduled fault.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+impl Serialize for PatternSpec {
+    fn to_value(&self) -> Value {
+        let name = match self {
+            PatternSpec::Sequential => "sequential",
+            PatternSpec::Random => "random",
+            PatternSpec::Zipf => "zipf",
+        };
+        Value::Str(name.to_owned())
+    }
+}
+
+impl Deserialize for PatternSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("sequential") => Ok(PatternSpec::Sequential),
+            Some("random") => Ok(PatternSpec::Random),
+            Some("zipf") => Ok(PatternSpec::Zipf),
+            other => Err(DeError::custom(format!("unknown pattern {other:?}"))),
+        }
+    }
+}
+
+/// One scheduled fault, externally tagged:
+/// `{"blade_fail": {"at_ms": 10, "blade": 0}}`.
+#[derive(Clone, Copy, Debug)]
 pub enum FaultSpec {
     BladeFail { at_ms: u64, blade: usize },
     BladeRepair { at_ms: u64, blade: usize },
     DiskFail { at_ms: u64, disk: usize },
 }
 
-/// The whole scenario.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+impl Serialize for FaultSpec {
+    fn to_value(&self) -> Value {
+        let (tag, at_ms, unit_key, unit) = match *self {
+            FaultSpec::BladeFail { at_ms, blade } => ("blade_fail", at_ms, "blade", blade),
+            FaultSpec::BladeRepair { at_ms, blade } => ("blade_repair", at_ms, "blade", blade),
+            FaultSpec::DiskFail { at_ms, disk } => ("disk_fail", at_ms, "disk", disk),
+        };
+        let body = Value::Obj(vec![
+            ("at_ms".to_owned(), at_ms.to_value()),
+            (unit_key.to_owned(), unit.to_value()),
+        ]);
+        Value::Obj(vec![(tag.to_owned(), body)])
+    }
+}
+
+impl Deserialize for FaultSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = match v {
+            Value::Obj(entries) if entries.len() == 1 => entries,
+            _ => return Err(DeError::custom("fault must be a single-key tagged object")),
+        };
+        let (tag, body) = &entries[0];
+        let at_ms = field(body, "at_ms", || 0u64)?;
+        match tag.as_str() {
+            "blade_fail" => Ok(FaultSpec::BladeFail { at_ms, blade: field(body, "blade", || 0)? }),
+            "blade_repair" => {
+                Ok(FaultSpec::BladeRepair { at_ms, blade: field(body, "blade", || 0)? })
+            }
+            "disk_fail" => Ok(FaultSpec::DiskFail { at_ms, disk: field(body, "disk", || 0)? }),
+            other => Err(DeError::custom(format!("unknown fault kind {other:?}"))),
+        }
+    }
+}
+
+/// The whole scenario. Every field is optional in JSON; absent fields take
+/// the `d_*` defaults below.
+#[derive(Clone, Debug)]
 pub struct SimSpec {
-    #[serde(default = "d_blades")]
     pub blades: usize,
-    #[serde(default = "d_disks")]
     pub disks: usize,
-    #[serde(default = "d_clients")]
     pub clients: usize,
-    #[serde(default = "d_raid")]
     pub raid: RaidSpec,
-    #[serde(default = "d_cache_mb")]
     pub cache_mb_per_blade: usize,
-    #[serde(default)]
     pub prefetch_pages: usize,
-    #[serde(default = "d_copies")]
     pub write_copies: usize,
-    #[serde(default = "d_lb")]
     pub load_balance: String,
-    #[serde(default = "d_pattern")]
     pub pattern: PatternSpec,
-    #[serde(default = "d_ws_mb")]
     pub working_set_mb: u64,
-    #[serde(default = "d_io_kb")]
     pub io_kb: u64,
-    #[serde(default = "d_wf")]
     pub write_fraction: f64,
-    #[serde(default = "d_theta")]
     pub zipf_theta: f64,
-    #[serde(default = "d_ops")]
     pub ops: usize,
-    #[serde(default = "d_seed")]
     pub seed: u64,
-    #[serde(default)]
     pub faults: Vec<FaultSpec>,
+}
+
+impl Serialize for SimSpec {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("blades".to_owned(), self.blades.to_value()),
+            ("disks".to_owned(), self.disks.to_value()),
+            ("clients".to_owned(), self.clients.to_value()),
+            ("raid".to_owned(), self.raid.to_value()),
+            ("cache_mb_per_blade".to_owned(), self.cache_mb_per_blade.to_value()),
+            ("prefetch_pages".to_owned(), self.prefetch_pages.to_value()),
+            ("write_copies".to_owned(), self.write_copies.to_value()),
+            ("load_balance".to_owned(), self.load_balance.to_value()),
+            ("pattern".to_owned(), self.pattern.to_value()),
+            ("working_set_mb".to_owned(), self.working_set_mb.to_value()),
+            ("io_kb".to_owned(), self.io_kb.to_value()),
+            ("write_fraction".to_owned(), self.write_fraction.to_value()),
+            ("zipf_theta".to_owned(), self.zipf_theta.to_value()),
+            ("ops".to_owned(), self.ops.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("faults".to_owned(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Obj(_)) {
+            return Err(DeError::custom("spec must be a JSON object"));
+        }
+        Ok(SimSpec {
+            blades: field(v, "blades", d_blades)?,
+            disks: field(v, "disks", d_disks)?,
+            clients: field(v, "clients", d_clients)?,
+            raid: field(v, "raid", d_raid)?,
+            cache_mb_per_blade: field(v, "cache_mb_per_blade", d_cache_mb)?,
+            prefetch_pages: field(v, "prefetch_pages", || 0)?,
+            write_copies: field(v, "write_copies", d_copies)?,
+            load_balance: field(v, "load_balance", d_lb)?,
+            pattern: field(v, "pattern", d_pattern)?,
+            working_set_mb: field(v, "working_set_mb", d_ws_mb)?,
+            io_kb: field(v, "io_kb", d_io_kb)?,
+            write_fraction: field(v, "write_fraction", d_wf)?,
+            zipf_theta: field(v, "zipf_theta", d_theta)?,
+            ops: field(v, "ops", d_ops)?,
+            seed: field(v, "seed", d_seed)?,
+            faults: field(v, "faults", Vec::new)?,
+        })
+    }
 }
 
 fn d_blades() -> usize { 4 }
@@ -101,7 +228,7 @@ fn d_ops() -> usize { 2000 }
 fn d_seed() -> u64 { 42 }
 
 /// The numbers a run produces.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimOutcome {
     pub ops_completed: u64,
     pub ops_failed: u64,
@@ -114,6 +241,42 @@ pub struct SimOutcome {
     pub cache_local_hits: u64,
     pub cache_remote_hits: u64,
     pub disk_reads: u64,
+}
+
+impl Serialize for SimOutcome {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("ops_completed".to_owned(), self.ops_completed.to_value()),
+            ("ops_failed".to_owned(), self.ops_failed.to_value()),
+            ("availability".to_owned(), self.availability.to_value()),
+            ("mb_moved".to_owned(), self.mb_moved.to_value()),
+            ("read_p50_ms".to_owned(), self.read_p50_ms.to_value()),
+            ("read_p99_ms".to_owned(), self.read_p99_ms.to_value()),
+            ("write_p99_ms".to_owned(), self.write_p99_ms.to_value()),
+            ("dirty_pages_lost".to_owned(), self.dirty_pages_lost.to_value()),
+            ("cache_local_hits".to_owned(), self.cache_local_hits.to_value()),
+            ("cache_remote_hits".to_owned(), self.cache_remote_hits.to_value()),
+            ("disk_reads".to_owned(), self.disk_reads.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(SimOutcome {
+            ops_completed: field(v, "ops_completed", || 0)?,
+            ops_failed: field(v, "ops_failed", || 0)?,
+            availability: field(v, "availability", || 0.0)?,
+            mb_moved: field(v, "mb_moved", || 0.0)?,
+            read_p50_ms: field(v, "read_p50_ms", || 0.0)?,
+            read_p99_ms: field(v, "read_p99_ms", || 0.0)?,
+            write_p99_ms: field(v, "write_p99_ms", || 0.0)?,
+            dirty_pages_lost: field(v, "dirty_pages_lost", || 0)?,
+            cache_local_hits: field(v, "cache_local_hits", || 0)?,
+            cache_remote_hits: field(v, "cache_remote_hits", || 0)?,
+            disk_reads: field(v, "disk_reads", || 0)?,
+        })
+    }
 }
 
 impl SimSpec {

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 /// Why a page occupies a blade's cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Residency {
+pub(crate) enum Residency {
     /// Normal coherent copy (Shared or Modified per directory).
     Cached { state: PageState, dirty: bool },
     /// Pinned dirty replica protecting another blade's write.
@@ -26,18 +26,18 @@ enum Residency {
 }
 
 #[derive(Clone, Debug)]
-struct PageMeta {
-    residency: Residency,
-    retention: Retention,
-    version: u64,
+pub(crate) struct PageMeta {
+    pub(crate) residency: Residency,
+    pub(crate) retention: Retention,
+    pub(crate) version: u64,
 }
 
 #[derive(Clone, Debug)]
-struct BladeSlot {
-    capacity_pages: usize,
-    lru: LruList<PageKey>,
-    pages: HashMap<PageKey, PageMeta>,
-    up: bool,
+pub(crate) struct BladeSlot {
+    pub(crate) capacity_pages: usize,
+    pub(crate) lru: LruList<PageKey>,
+    pub(crate) pages: HashMap<PageKey, PageMeta>,
+    pub(crate) up: bool,
 }
 
 impl BladeSlot {
@@ -75,6 +75,19 @@ pub struct FailureReport {
     pub promoted: Vec<PageKey>,
     /// Dirty pages with no surviving replica: data loss.
     pub lost: Vec<PageKey>,
+}
+
+/// Read-only snapshot of one resident page (see
+/// [`CacheCluster::resident_pages`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResidentPage {
+    pub key: PageKey,
+    /// Pinned dirty replica protecting another blade's write.
+    pub replica: bool,
+    /// Dirty owner copy awaiting destage.
+    pub dirty: bool,
+    pub retention: Retention,
+    pub version: u64,
 }
 
 /// Aggregate statistics.
@@ -128,8 +141,8 @@ impl std::error::Error for CacheError {}
 /// ```
 #[derive(Clone, Debug)]
 pub struct CacheCluster {
-    blades: Vec<BladeSlot>,
-    directory: Directory,
+    pub(crate) blades: Vec<BladeSlot>,
+    pub(crate) directory: Directory,
     stats: CacheStats,
 }
 
@@ -499,48 +512,50 @@ impl CacheCluster {
         self.blades[blade].up = true;
     }
 
+    /// Configured page capacity of one blade.
+    pub fn capacity_pages(&self, blade: usize) -> usize {
+        self.blades[blade].capacity_pages
+    }
+
+    /// Read-only view of every page resident at `blade`, sorted by key.
+    /// External auditors (the `ys-check` model checker) canonicalize cluster
+    /// state from this.
+    pub fn resident_pages(&self, blade: usize) -> Vec<ResidentPage> {
+        let mut out: Vec<ResidentPage> = self.blades[blade]
+            .pages
+            .iter()
+            .map(|(key, m)| ResidentPage {
+                key: *key,
+                replica: matches!(m.residency, Residency::Replica),
+                dirty: matches!(m.residency, Residency::Cached { dirty: true, .. }),
+                retention: m.retention,
+                version: m.version,
+            })
+            .collect();
+        out.sort_by_key(|p| p.key);
+        out
+    }
+
+    /// Recency order (most- to least-recent) of one retention band at
+    /// `blade` — the part of blade state that decides future evictions.
+    pub fn lru_order(&self, blade: usize, band: Retention) -> Vec<PageKey> {
+        self.blades[blade].lru.band_keys(band)
+    }
+
+    /// Audit every coherence invariant, returning all violations. See
+    /// [`crate::invariants`] for the rule catalogue.
+    pub fn audit_invariants(&self) -> Vec<crate::invariants::Violation> {
+        crate::invariants::audit(self)
+    }
+
     /// Verify the coherence invariants; returns a description of the first
-    /// violation. Used by property tests.
+    /// violation. Convenience wrapper over [`CacheCluster::audit_invariants`]
+    /// kept for call sites that only need pass/fail.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (key, e) in self.directory.iter() {
-            // MOSI-style: a dirty owner may coexist with clean read sharers
-            // (the owner supplies data until destage), but never appears in
-            // its own sharer list, and writes invalidate every other holder.
-            if let Some(o) = e.owner {
-                if e.sharers.contains(&o) {
-                    return Err(format!("{key:?}: owner {o} also listed as sharer"));
-                }
-            }
-            if let Some(o) = e.owner {
-                match self.blades[o].pages.get(key) {
-                    Some(m) if matches!(m.residency, Residency::Cached { dirty: true, .. }) => {}
-                    _ => return Err(format!("{key:?}: directory owner {o} lacks dirty copy")),
-                }
-            }
-            for &s in &e.sharers {
-                match self.blades[s].pages.get(key) {
-                    Some(m) if matches!(m.residency, Residency::Cached { dirty: false, .. }) => {}
-                    _ => return Err(format!("{key:?}: sharer {s} lacks clean copy")),
-                }
-            }
-            for &r in &e.replicas {
-                match self.blades[r].pages.get(key) {
-                    Some(m) if matches!(m.residency, Residency::Replica) => {
-                        if m.version != e.version {
-                            return Err(format!("{key:?}: replica {r} stale version"));
-                        }
-                    }
-                    _ => return Err(format!("{key:?}: replica blade {r} lacks replica copy")),
-                }
-            }
+        match self.audit_invariants().first() {
+            None => Ok(()),
+            Some(v) => Err(v.to_string()),
         }
-        // No blade over capacity.
-        for (i, b) in self.blades.iter().enumerate() {
-            if b.occupancy() > b.capacity_pages {
-                return Err(format!("blade {i} over capacity"));
-            }
-        }
-        Ok(())
     }
 }
 

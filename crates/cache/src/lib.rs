@@ -17,9 +17,13 @@
 pub mod cluster;
 pub mod directory;
 pub mod heat;
+pub mod invariants;
 pub mod lru;
 
-pub use cluster::{CacheCluster, CacheError, CacheStats, FailureReport, ReadOutcome, WriteOutcome};
+pub use cluster::{
+    CacheCluster, CacheError, CacheStats, FailureReport, ReadOutcome, ResidentPage, WriteOutcome,
+};
 pub use directory::{DirEntry, Directory, PageKey, PageState};
 pub use heat::HeatTracker;
+pub use invariants::{Invariant, Violation};
 pub use lru::{LruList, Retention};

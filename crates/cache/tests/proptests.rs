@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use ys_cache::{CacheCluster, PageKey, ReadOutcome, Retention};
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Op {
     Read { blade: u8, page: u8 },
     Write { blade: u8, page: u8, n_way: u8 },
@@ -57,7 +57,14 @@ proptest! {
                     c.repair_blade(blade as usize % blades);
                 }
             }
-            c.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            // The structured audit names every broken rule at once; report
+            // the full list so a failure pinpoints the invariant by name.
+            let violations = c.audit_invariants();
+            prop_assert!(
+                violations.is_empty(),
+                "after {op:?}: {}",
+                violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+            );
         }
     }
 
@@ -84,7 +91,12 @@ proptest! {
                 prop_assert!(report.lost.is_empty(), "lost dirty data after {} failures", killed.len());
             }
         }
-        c.check_invariants().map_err(TestCaseError::fail)?;
+        let violations = c.audit_invariants();
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+        );
     }
 
     /// Reads return the latest written version: after a write, any reader

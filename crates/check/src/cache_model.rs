@@ -1,0 +1,398 @@
+//! Model-checker harness for [`ys_cache::CacheCluster`].
+//!
+//! Wraps the real cluster (no mock) in shadow bookkeeping that encodes the
+//! paper's guarantees independently of the implementation:
+//!
+//! * **write-version monotonicity** — re-writes of a live page always bump
+//!   its version (§6.3's coherent single image: readers can order writes);
+//! * **loss-within-budget** — a page written with N total dirty copies
+//!   survives any N−1 blade failures (§6.1); losing it earlier is a bug,
+//!   losing it at the Nth failure is the accepted limit;
+//! * plus the full structural audit in [`ys_cache::invariants`] after every
+//!   step.
+//!
+//! Canonical hashing normalizes version counters to their *rank order* so
+//! that states differing only in absolute version numbers — unreachable to
+//! distinguish by any future operation — deduplicate, keeping the bounded
+//! space finite.
+
+use crate::explore::Model;
+use crate::hash::StateHasher;
+use std::collections::HashMap;
+use ys_cache::{CacheCluster, PageKey, ReadOutcome, Retention};
+
+/// One operation in the bounded scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read at `blade`; on miss, fill from "disk" (the paper's read path).
+    Read { blade: usize, page: u64 },
+    /// N-way protected write at `blade`.
+    Write { blade: usize, page: u64 },
+    /// Destage (write-back) a page, unpinning its replicas.
+    Destage { page: u64 },
+    /// Drop every copy cluster-wide (volume rollback under the cache).
+    Invalidate { page: u64 },
+    /// Crash a blade.
+    Fail { blade: usize },
+    /// Bring a failed blade back, empty.
+    Repair { blade: usize },
+}
+
+/// Bounds of the exploration: how many blades/pages, protection level, and
+/// per-blade capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope {
+    pub blades: usize,
+    pub pages: u64,
+    /// Total dirty copies per write (owner + replicas).
+    pub n_way: usize,
+    pub capacity_pages: usize,
+}
+
+impl Scope {
+    /// The acceptance scope: 3 blades × 4 pages, 2-way writes.
+    pub fn small() -> Scope {
+        Scope { blades: 3, pages: 4, n_way: 2, capacity_pages: 8 }
+    }
+}
+
+/// Protection promised to a dirty page at its last write.
+#[derive(Clone, Copy, Debug)]
+struct Budget {
+    /// Dirty copies that existed when the write was acked (owner+replicas).
+    copies: usize,
+    /// Blade failures since then that removed one of those copies.
+    failures: usize,
+}
+
+/// The real cluster plus the shadow observer.
+#[derive(Clone)]
+pub struct CacheModel {
+    scope: Scope,
+    cluster: CacheCluster,
+    /// Last version each live page was written at.
+    last_written: HashMap<PageKey, u64>,
+    /// Outstanding protection promises for dirty pages.
+    budgets: HashMap<PageKey, Budget>,
+}
+
+fn key_of(page: u64) -> PageKey {
+    PageKey::new(0, page)
+}
+
+impl CacheModel {
+    pub fn new(scope: Scope) -> CacheModel {
+        CacheModel {
+            scope,
+            cluster: CacheCluster::new(scope.blades, scope.capacity_pages),
+            last_written: HashMap::new(),
+            budgets: HashMap::new(),
+        }
+    }
+
+    pub fn cluster(&self) -> &CacheCluster {
+        &self.cluster
+    }
+
+    /// Apply `op` to the inner cluster and update the shadow, returning
+    /// shadow-detected violations (structural audit happens separately).
+    fn step(&mut self, op: Op) -> Vec<String> {
+        let mut violations = Vec::new();
+        match op {
+            Op::Read { blade, page } => {
+                let key = key_of(page);
+                if let Ok(ReadOutcome::Miss) = self.cluster.read(blade, key) {
+                    let _ = self.cluster.fill(blade, key, Retention::Normal);
+                }
+            }
+            Op::Write { blade, page } => {
+                let key = key_of(page);
+                if let Ok(out) = self.cluster.write(blade, key, self.scope.n_way, Retention::Normal)
+                {
+                    if let Some(&prev) = self.last_written.get(&key) {
+                        if out.version <= prev {
+                            violations.push(format!(
+                                "monotonicity: write of {key:?} returned v{} after v{prev}",
+                                out.version
+                            ));
+                        }
+                    }
+                    self.last_written.insert(key, out.version);
+                    self.budgets
+                        .insert(key, Budget { copies: 1 + out.replicas.len(), failures: 0 });
+                }
+            }
+            Op::Destage { page } => {
+                let key = key_of(page);
+                if self.cluster.destage(key).is_ok() {
+                    // Data is on disk: the in-cache protection promise ends.
+                    self.budgets.remove(&key);
+                }
+            }
+            Op::Invalidate { page } => {
+                let key = key_of(page);
+                self.cluster.invalidate_page(key);
+                // Deliberate drop (rollback): both shadow entries reset.
+                self.budgets.remove(&key);
+                self.last_written.remove(&key);
+            }
+            Op::Fail { blade } => {
+                // Which protected pages lose a copy if this blade dies?
+                let mut hit: Vec<PageKey> = Vec::new();
+                for (key, e) in self.cluster.directory().iter() {
+                    if e.owner == Some(blade) || e.replicas.contains(&blade) {
+                        hit.push(*key);
+                    }
+                }
+                let report = self.cluster.fail_blade(blade);
+                for key in hit {
+                    if let Some(b) = self.budgets.get_mut(&key) {
+                        b.failures += 1;
+                    }
+                }
+                for key in &report.lost {
+                    match self.budgets.get(key) {
+                        Some(b) if b.failures < b.copies => {
+                            violations.push(format!(
+                                "loss-within-budget: {key:?} written {}-way lost after only {} \
+                                 failures",
+                                b.copies, b.failures
+                            ));
+                        }
+                        _ => {}
+                    }
+                    self.budgets.remove(key);
+                    self.last_written.remove(key);
+                }
+            }
+            Op::Repair { blade } => {
+                self.cluster.repair_blade(blade);
+            }
+        }
+
+        // Version bookkeeping resets when a page's directory entry vanishes
+        // (eviction of the last copy, loss, invalidation): a later write
+        // legitimately restarts its version counter.
+        self.last_written.retain(|key, _| self.cluster.directory().get(key).is_some());
+
+        violations
+    }
+}
+
+impl Model for CacheModel {
+    type Op = Op;
+
+    fn enumerate_ops(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for blade in 0..self.scope.blades {
+            for page in 0..self.scope.pages {
+                ops.push(Op::Read { blade, page });
+                ops.push(Op::Write { blade, page });
+            }
+        }
+        for page in 0..self.scope.pages {
+            ops.push(Op::Destage { page });
+            ops.push(Op::Invalidate { page });
+        }
+        for blade in 0..self.scope.blades {
+            ops.push(Op::Fail { blade });
+            ops.push(Op::Repair { blade });
+        }
+        ops
+    }
+
+    fn apply(&mut self, op: Op) -> Vec<String> {
+        let mut violations = self.step(op);
+        for v in self.cluster.audit_invariants() {
+            violations.push(v.to_string());
+        }
+        violations
+    }
+
+    fn canonical_hash(&self) -> u128 {
+        let mut h = StateHasher::new();
+
+        // Version-rank normalization: collect every version that is
+        // currently observable, then hash each occurrence as its rank.
+        // Absolute counter values can grow without bound, but no operation
+        // can distinguish two states that order their versions identically.
+        let mut versions: Vec<u64> = Vec::new();
+        for (_, e) in self.cluster.directory().iter() {
+            versions.push(e.version);
+        }
+        for b in 0..self.scope.blades {
+            for p in self.cluster.resident_pages(b) {
+                versions.push(p.version);
+            }
+        }
+        for &v in self.last_written.values() {
+            versions.push(v);
+        }
+        versions.sort_unstable();
+        versions.dedup();
+        let rank = |v: u64| versions.binary_search(&v).unwrap_or(usize::MAX) as u64;
+
+        // Blade contents, index order; pages sorted by key.
+        let include_lru = self.scope.capacity_pages < self.scope.pages as usize;
+        for b in 0..self.scope.blades {
+            h.write_bool(self.cluster.blade_up(b));
+            for p in self.cluster.resident_pages(b) {
+                h.write_u64(p.key.page);
+                h.write_bool(p.replica);
+                h.write_bool(p.dirty);
+                h.write_u64(p.retention as u64);
+                h.write_u64(rank(p.version));
+            }
+            h.boundary();
+            if include_lru {
+                // Recency order decides future evictions, so it is part of
+                // behavioral state whenever eviction is reachable.
+                for band in [Retention::Low, Retention::Normal, Retention::High, Retention::Pinned]
+                {
+                    for key in self.cluster.lru_order(b, band) {
+                        h.write_u64(key.page);
+                    }
+                    h.boundary();
+                }
+            }
+        }
+
+        // Directory, sorted by key. Sharer and replica lists keep their
+        // stored order: replica order decides promotion on failure.
+        let mut entries: Vec<(&PageKey, &ys_cache::DirEntry)> =
+            self.cluster.directory().iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        for (key, e) in entries {
+            h.write_u64(key.page);
+            match e.owner {
+                Some(o) => h.write_u64(1 + o as u64),
+                None => h.write_u64(0),
+            }
+            for &s in &e.sharers {
+                h.write_usize(s);
+            }
+            h.boundary();
+            for &r in &e.replicas {
+                h.write_usize(r);
+            }
+            h.boundary();
+            h.write_u64(rank(e.version));
+        }
+        h.boundary();
+
+        // Shadow state distinguishes paths the structural state alone may
+        // not (protection promises judge *future* failures).
+        let mut shadow: Vec<(u64, u64, u64, u64)> = self
+            .budgets
+            .iter()
+            .map(|(k, b)| (k.page, b.copies as u64, b.failures as u64, u64::MAX))
+            .collect();
+        for (k, v) in &self.last_written {
+            shadow.push((k.page, u64::MAX, u64::MAX, rank(*v)));
+        }
+        shadow.sort_unstable();
+        for (page, copies, failures, vrank) in shadow {
+            h.write_u64(page);
+            h.write_u64(copies);
+            h.write_u64(failures);
+            h.write_u64(vrank);
+        }
+        h.finish()
+    }
+}
+
+/// Render a counterexample trace as a ready-to-paste regression test body.
+pub fn render_trace(trace: &[Op], scope: Scope, violations: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("// Violations:\n");
+    for v in violations {
+        out.push_str(&format!("//   {v}\n"));
+    }
+    out.push_str(&format!(
+        "let mut c = CacheCluster::new({}, {});\n",
+        scope.blades, scope.capacity_pages
+    ));
+    for op in trace {
+        let line = match *op {
+            Op::Read { blade, page } => format!(
+                "if let Ok(ReadOutcome::Miss) = c.read({blade}, PageKey::new(0, {page})) {{ \
+                 let _ = c.fill({blade}, PageKey::new(0, {page}), Retention::Normal); }}"
+            ),
+            Op::Write { blade, page } => format!(
+                "let _ = c.write({blade}, PageKey::new(0, {page}), {}, Retention::Normal);",
+                scope.n_way
+            ),
+            Op::Destage { page } => format!("let _ = c.destage(PageKey::new(0, {page}));"),
+            Op::Invalidate { page } => format!("c.invalidate_page(PageKey::new(0, {page}));"),
+            Op::Fail { blade } => format!("let _ = c.fail_blade({blade});"),
+            Op::Repair { blade } => format!("c.repair_blade({blade});"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("assert_eq!(c.audit_invariants(), vec![]);\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Limits, SearchOrder};
+
+    #[test]
+    fn initial_state_is_healthy() {
+        let m = CacheModel::new(Scope::small());
+        assert!(m.cluster.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn hash_ignores_absolute_versions() {
+        // Two clusters whose only difference is how many times the page was
+        // rewritten (same final structure, different absolute counters).
+        let scope = Scope::small();
+        let mut a = CacheModel::new(scope);
+        let mut b = CacheModel::new(scope);
+        a.apply(Op::Write { blade: 0, page: 1 });
+        b.apply(Op::Write { blade: 0, page: 1 });
+        b.apply(Op::Write { blade: 0, page: 1 });
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_dirty_from_clean() {
+        let scope = Scope::small();
+        let mut a = CacheModel::new(scope);
+        let mut b = CacheModel::new(scope);
+        a.apply(Op::Write { blade: 0, page: 1 });
+        b.apply(Op::Write { blade: 0, page: 1 });
+        b.apply(Op::Destage { page: 1 });
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn tiny_exploration_is_clean() {
+        let result = explore(
+            CacheModel::new(Scope { blades: 2, pages: 2, n_way: 2, capacity_pages: 4 }),
+            Limits { max_depth: 4, max_states: 50_000 },
+            SearchOrder::Bfs,
+        );
+        if let Some(cx) = &result.counterexample {
+            panic!(
+                "violation:\n{}",
+                render_trace(&cx.trace, Scope::small(), &cx.violations)
+            );
+        }
+        assert!(result.states_visited > 100);
+    }
+
+    #[test]
+    fn render_trace_is_replayable_rust() {
+        let text = render_trace(
+            &[Op::Write { blade: 0, page: 1 }, Op::Fail { blade: 0 }],
+            Scope::small(),
+            &["example".into()],
+        );
+        assert!(text.contains("c.write(0, PageKey::new(0, 1)"));
+        assert!(text.contains("c.fail_blade(0)"));
+    }
+}

@@ -1,0 +1,31 @@
+//! `ys-check` — bounded model checker and protocol-invariant audit.
+//!
+//! Drives the *real* implementation crates (`ys-cache`'s coherent blade
+//! cache, `ys-virt`'s DMSD volume manager) through exhaustive permutations
+//! of operations up to a configurable depth, auditing an invariant suite
+//! after every step:
+//!
+//! * single-writer exclusion and version monotonicity (§2.2, §6.1);
+//! * replica-set protection — no acknowledged dirty page lost while fewer
+//!   blades failed than copies held (§6.1's N−1 guarantee);
+//! * directory-vs-LRU residency agreement and per-blade capacity (§2.2);
+//! * DMSD allocated-block conservation across snapshot/rollback (§3).
+//!
+//! States deduplicate by a canonical 128-bit hash that normalizes unbounded
+//! counters (absolute write versions hash as ranks), so the explored space
+//! is finite and the exploration exhaustive within scope. Counterexamples
+//! come back as shortest operation traces, rendered as ready-to-paste
+//! regression tests.
+//!
+//! Run with `cargo run -p ys-check --release`, or through the acceptance
+//! tests in `tests/exploration.rs`.
+
+pub mod cache_model;
+pub mod explore;
+pub mod hash;
+pub mod virt_model;
+
+pub use cache_model::{render_trace, CacheModel, Op, Scope};
+pub use explore::{explore, Counterexample, Exploration, Limits, Model, SearchOrder};
+pub use hash::StateHasher;
+pub use virt_model::{render_virt_trace, VirtModel, VirtOp, VirtScope};

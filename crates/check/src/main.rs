@@ -1,0 +1,149 @@
+//! `ys-check` CLI: bounded exploration of the cache-coherence and DMSD
+//! models from the command line.
+//!
+//! ```text
+//! cargo run -p ys-check --release -- --blades 3 --pages 4 --depth 5
+//! cargo run -p ys-check --release -- --virt --depth 6
+//! ```
+//!
+//! Exit status is 0 when the explored space is violation-free, 1 when a
+//! counterexample was found (its trace is printed as a replayable test
+//! body), and 2 on usage errors.
+
+use std::process::ExitCode;
+use ys_check::{
+    explore, render_trace, render_virt_trace, CacheModel, Exploration, Limits, Scope, SearchOrder,
+    VirtModel, VirtScope,
+};
+
+struct Args {
+    blades: usize,
+    pages: u64,
+    n_way: usize,
+    capacity: usize,
+    depth: usize,
+    max_states: usize,
+    order: SearchOrder,
+    virt: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            blades: 3,
+            pages: 4,
+            n_way: 2,
+            capacity: 8,
+            depth: 5,
+            max_states: 2_000_000,
+            order: SearchOrder::Bfs,
+            virt: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+ys-check: bounded model checker for the cache cluster and DMSD catalog
+
+USAGE: ys-check [OPTIONS]
+
+OPTIONS:
+  --blades N       controller blades in scope        (default 3)
+  --pages N        distinct pages in scope           (default 4)
+  --nway N         dirty copies per write            (default 2)
+  --capacity N     per-blade capacity in pages       (default 8)
+  --depth N        max ops along any path            (default 5)
+  --max-states N   stop after N distinct states      (default 2000000)
+  --dfs            depth-first order (default: breadth-first)
+  --virt           check the DMSD volume manager instead of the cache
+  -h, --help       print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--blades" => args.blades = num("--blades")? as usize,
+            "--pages" => args.pages = num("--pages")?,
+            "--nway" => args.n_way = num("--nway")? as usize,
+            "--capacity" => args.capacity = num("--capacity")? as usize,
+            "--depth" => args.depth = num("--depth")? as usize,
+            "--max-states" => args.max_states = num("--max-states")? as usize,
+            "--dfs" => args.order = SearchOrder::Dfs,
+            "--virt" => args.virt = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report<Op: std::fmt::Debug>(what: &str, r: &Exploration<Op>) {
+    println!("ys-check: {what}");
+    println!("  states visited   {}", r.states_visited);
+    println!("  transitions      {}", r.transitions);
+    println!("  deduplicated     {}", r.deduplicated);
+    println!("  deepest path     {}", r.deepest);
+    println!("  truncated        {}", r.truncated);
+    println!("  elapsed          {:.2}s", r.elapsed_secs);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ys-check: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let limits = Limits { max_depth: args.depth, max_states: args.max_states };
+
+    if args.virt {
+        let scope = VirtScope::small();
+        let result = explore(VirtModel::new(scope), limits, args.order);
+        report(
+            &format!(
+                "DMSD model, {} volumes × {} extents over a {}-extent pool, depth {}",
+                scope.volumes, scope.volume_extents, scope.pool_extents, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_virt_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else {
+        let scope = Scope {
+            blades: args.blades,
+            pages: args.pages,
+            n_way: args.n_way,
+            capacity_pages: args.capacity,
+        };
+        let result = explore(CacheModel::new(scope), limits, args.order);
+        report(
+            &format!(
+                "cache model, {} blades × {} pages, {}-way writes, depth {}",
+                scope.blades, scope.pages, scope.n_way, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    }
+    println!("  no violations in the explored space");
+    ExitCode::SUCCESS
+}

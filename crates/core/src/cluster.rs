@@ -872,7 +872,6 @@ mod tests {
         // But the destage does hit disks eventually.
         let last = c.drain();
         assert!(last > w.done);
-        assert!(c.farm.disk(DiskId(0)).writes() + c.farm.disk(DiskId(1)).writes() + c.farm.disk(DiskId(2)).writes() > 0 || true);
     }
 
     #[test]

@@ -310,8 +310,7 @@ mod tests {
 
     #[test]
     fn active_passive_routes_everything_to_primary() {
-        let mut cfg = LegacyConfig::default();
-        cfg.mode = LegacyMode::ActivePassive;
+        let cfg = LegacyConfig { mode: LegacyMode::ActivePassive, ..LegacyConfig::default() };
         let mut a = LegacyArray::new(cfg);
         assert_eq!(a.owner(0), Some(0));
         assert_eq!(a.owner(7), Some(0));
@@ -377,9 +376,11 @@ mod hotspot_tests {
 
     #[test]
     fn single_controller_array_loses_on_first_failure() {
-        let mut cfg = LegacyConfig::default();
-        cfg.controllers = 1;
-        cfg.mode = LegacyMode::ActivePassive;
+        let cfg = LegacyConfig {
+            controllers: 1,
+            mode: LegacyMode::ActivePassive,
+            ..LegacyConfig::default()
+        };
         let mut a = LegacyArray::new(cfg);
         a.write(SimTime::ZERO, 0, 0, 64 * 1024);
         assert!(a.fail_controller(0) > 0, "no mirror, immediate loss");
@@ -388,8 +389,7 @@ mod hotspot_tests {
 
     #[test]
     fn cache_eviction_under_pressure_keeps_serving() {
-        let mut cfg = LegacyConfig::default();
-        cfg.cache_pages_per_controller = 8;
+        let cfg = LegacyConfig { cache_pages_per_controller: 8, ..LegacyConfig::default() };
         let mut a = LegacyArray::new(cfg);
         let mut t = SimTime::ZERO;
         for i in 0..100u64 {

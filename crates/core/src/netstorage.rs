@@ -512,11 +512,9 @@ mod tests {
     #[test]
     fn sync_policy_pays_wan_latency_on_write() {
         let mut ns = NetStorage::new(small_sites());
-        let mut pol = FilePolicy::default();
-        pol.geo = GeoPolicy::sync(2);
+        let pol = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
         ns.create_file("/sync.dat", pol, S0).unwrap();
-        let mut pol_none = FilePolicy::default();
-        pol_none.geo = GeoPolicy::none();
+        let pol_none = FilePolicy { geo: GeoPolicy::none(), ..FilePolicy::default() };
         ns.create_file("/local.dat", pol_none, S0).unwrap();
 
         let w_sync = ns.write_file(SimTime::ZERO, S0, 0, "/sync.dat", 0, 1 << 20).unwrap();
@@ -533,17 +531,18 @@ mod tests {
     #[test]
     fn async_policy_acks_locally_and_ships_later() {
         let mut ns = NetStorage::new(small_sites());
-        let mut pol = FilePolicy::default();
-        pol.geo = GeoPolicy::async_(2);
+        let pol = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
         ns.create_file("/async.dat", pol, S0).unwrap();
         // Same-size file replicated synchronously to the far (regional)
         // site, for comparison: async must ack well before sync.
-        let mut sync_pol = FilePolicy::default();
-        sync_pol.geo = ys_pfs::GeoPolicy {
-            mode: ys_pfs::GeoMode::Synchronous,
-            site_copies: 2,
-            min_distance_km: 500.0,
-            preferred_sites: vec![],
+        let sync_pol = FilePolicy {
+            geo: ys_pfs::GeoPolicy {
+                mode: ys_pfs::GeoMode::Synchronous,
+                site_copies: 2,
+                min_distance_km: 500.0,
+                preferred_sites: vec![],
+            },
+            ..FilePolicy::default()
         };
         ns.create_file("/sync_far.dat", sync_pol, S0).unwrap();
         let w = ns.write_file(SimTime::ZERO, S0, 0, "/async.dat", 0, 1 << 20).unwrap();
@@ -583,8 +582,7 @@ mod tests {
     #[test]
     fn site_loss_with_sync_replica_loses_nothing() {
         let mut ns = NetStorage::new(small_sites());
-        let mut pol = FilePolicy::default();
-        pol.geo = GeoPolicy::sync(2);
+        let pol = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
         ns.create_file("/critical.db", pol, S0).unwrap();
         let w = ns.write_file(SimTime::ZERO, S0, 0, "/critical.db", 0, 1 << 20).unwrap();
         let report = ns.fail_site(S0);
@@ -597,8 +595,7 @@ mod tests {
     #[test]
     fn site_loss_with_unshipped_async_has_a_loss_window() {
         let mut ns = NetStorage::new(small_sites());
-        let mut pol = FilePolicy::default();
-        pol.geo = GeoPolicy::async_(2);
+        let pol = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
         ns.create_file("/bulk.dat", pol, S0).unwrap();
         for i in 0..5u64 {
             ns.write_file(SimTime(i * 1000), S0, 0, "/bulk.dat", i << 20, 1 << 20).unwrap();

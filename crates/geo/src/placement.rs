@@ -116,7 +116,7 @@ pub fn place(topology: &SiteTopology, home: SiteId, policy: &GeoPolicy) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ys_pfs::{GeoMode, GeoPolicy};
+    use ys_pfs::GeoPolicy;
     use ys_simnet::catalog;
 
     fn topo() -> SiteTopology {

@@ -471,8 +471,7 @@ mod tests {
     #[test]
     fn policy_inherits_from_parent_dir() {
         let mut f = fs();
-        let mut dir_policy = FilePolicy::default();
-        dir_policy.retention = Retention::High;
+        let dir_policy = FilePolicy { retention: Retention::High, ..FilePolicy::default() };
         f.mkdir("/hot", Some(dir_policy.clone())).unwrap();
         f.create("/hot/a", None).unwrap();
         assert_eq!(f.stat("/hot/a").unwrap().policy.retention, Retention::High);

@@ -41,11 +41,11 @@ proptest! {
                 NsOp::Create(n) => {
                     let p = path(n);
                     let r = f.create(&p, None);
-                    if model.contains_key(&p) {
-                        prop_assert!(matches!(r, Err(FsError::AlreadyExists(_))));
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(p) {
                         prop_assert!(r.is_ok());
-                        model.insert(p, ());
+                        e.insert(());
+                    } else {
+                        prop_assert!(matches!(r, Err(FsError::AlreadyExists(_))));
                     }
                 }
                 NsOp::Remove(n) => {

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn batches_cover_all_rows_exactly_once() {
         let mut c = coord(7);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         let mut worker = 0usize;
         while let Some(b) = c.claim(worker) {
             for r in b.start..b.end {
@@ -186,7 +186,7 @@ mod tests {
         c.complete(2);
         c.complete(3);
         // Finish the rest.
-        while let Some(_) = c.claim(9) {
+        while c.claim(9).is_some() {
             c.complete(9);
         }
         assert!(c.is_done());

@@ -180,11 +180,8 @@ impl<E: Eq> Engine<E> {
     where
         F: FnMut(&mut Engine<E>, SimTime, E) -> Control,
     {
-        while let Some(t) = self.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, ev) = self.pop().expect("peeked event vanished");
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            let Some((t, ev)) = self.pop() else { break };
             if handler(self, t, ev) == Control::Stop {
                 break;
             }

@@ -145,7 +145,9 @@ impl Zipf {
             *v /= total;
         }
         // Guard against floating-point shortfall at the top end.
-        *cdf.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Zipf { cdf }
     }
 
@@ -268,7 +270,7 @@ mod tests {
     fn zipf_rank_ordering_holds() {
         let z = Zipf::new(50, 1.2);
         let mut rng = Rng::new(23);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..200_000 {
             counts[z.sample(&mut rng)] += 1;
         }

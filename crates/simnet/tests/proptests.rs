@@ -69,7 +69,7 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(sum, total);
-        prop_assert_eq!(count, total.div_ceil(frame).max(0));
+        prop_assert_eq!(count, total.div_ceil(frame));
     }
 
     /// Fabric conservation: bytes leaving egress ports equal bytes entering

@@ -66,7 +66,8 @@ impl PhysicalPool {
         if count > self.free.len() as u64 {
             return Err(OutOfSpace { requested: count, available: self.free.len() as u64 });
         }
-        let mut picked: Vec<u64> = (0..count).map(|_| self.free.pop().expect("checked length")).collect();
+        let split_at = self.free.len() - count as usize;
+        let mut picked: Vec<u64> = self.free.split_off(split_at);
         picked.sort_unstable();
         for &e in &picked {
             debug_assert_eq!(self.refs[e as usize], 0);

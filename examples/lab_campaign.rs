@@ -31,8 +31,7 @@ fn main() {
         p
     };
     // Derived analysis products: async replication is plenty.
-    let mut product_policy = FilePolicy::default();
-    product_policy.geo = GeoPolicy::async_(2);
+    let product_policy = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
     // Scratch: RAID-0, no replication, first to evict.
     let scratch_policy = FilePolicy::scratch();
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Repo hygiene gate: custom panic-lint plus clippy, both deny-by-default.
+# Run from anywhere inside the repo; CI and pre-commit both call this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable in this toolchain; skipping (xtask lint still ran)"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,186 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! multi-producer multi-consumer `channel` module.
+//!
+//! The real crate cannot be fetched in this container; this implementation
+//! is a straightforward `Mutex<VecDeque>` + `Condvar` MPMC queue. It is not
+//! lock-free, but the workspace only uses it to fan simulation configs out
+//! to a handful of worker threads, where contention is negligible.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by `send` when every receiver is gone. The workspace
+    /// never drops receivers before senders, so this is mostly vestigial.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate, Debug must not require `T: Debug` — callers
+    // `.expect()` on send results for arbitrary payload types.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by `recv` when the channel is empty and every sender
+    /// has been dropped.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self.0.queue.lock() {
+                Ok(mut st) => st.senders += 1,
+                Err(mut poison) => poison.get_mut().senders += 1,
+            }
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut st = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            st.items.push_back(item);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.0.ready.wait(st) {
+                    Ok(g) => g,
+                    Err(poison) => poison.into_inner(),
+                };
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut st = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+            st.items.pop_front().ok_or(RecvError)
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Bounded constructor; the shim ignores the capacity bound (the
+    /// workspace pre-fills the queue before workers start, so backpressure
+    /// is never exercised).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_out_across_cloned_receivers() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let mut got = Vec::new();
+            std::thread::scope(|s| {
+                let h1 = s.spawn(|| {
+                    let mut v = Vec::new();
+                    while let Ok(x) = rx.recv() {
+                        v.push(x);
+                    }
+                    v
+                });
+                let h2 = s.spawn(|| {
+                    let mut v = Vec::new();
+                    while let Ok(x) = rx2.recv() {
+                        v.push(x);
+                    }
+                    v
+                });
+                got.extend(h1.join().unwrap());
+                got.extend(h2.join().unwrap());
+            });
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

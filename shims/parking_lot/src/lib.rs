@@ -1,0 +1,87 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real crate cannot be fetched. This shim maps the API onto `std::sync`
+//! primitives; poisoning is swallowed (parking_lot has no poisoning either,
+//! so behaviour matches for panicking threads).
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// `parking_lot::Mutex`: non-poisoning mutex with guard-returning `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+/// `parking_lot::RwLock`: non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_lock_and_into_inner() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5u32);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline shim for `serde_json`: parse and print JSON text to/from the
+//! serde shim's [`Value`] tree, plus `from_str`/`to_string` entry points
+//! matching the real crate's signatures at the call sites this workspace
+//! uses.
+
+pub use serde::{Number, Value};
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Parse or conversion error with a byte offset for parse failures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, offset: usize) -> Error {
+        Error { msg: msg.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {}", self.msg, o),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error { msg: e.0, offset: None }
+    }
+}
+
+/// Deserialize `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serialize `T` to compact JSON.
+pub fn to_string<T: Serialize>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&t.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `T` to indented JSON.
+pub fn to_string_pretty<T: Serialize>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&t.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::parse(format!("expected '{}'", ch as char), *pos))
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::parse("unexpected end of input", *pos)),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_at(bytes, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(Error::parse("object key must be a string", *pos)),
+                };
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let val = parse_at(bytes, pos)?;
+                entries.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(Error::parse("expected ',' or '}'", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_at(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error::parse("expected ',' or ']'", *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_lit(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::parse("invalid literal", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::parse("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::parse("bad \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::parse("bad \\u escape", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::parse("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::parse("invalid utf-8", *pos))?;
+                let ch = match s.chars().next() {
+                    Some(c) => c,
+                    None => return Err(Error::parse("invalid utf-8", *pos)),
+                };
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        float = true;
+        *pos += 1;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::parse("bad number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::parse("bad number", start));
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Num(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Num(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Num(Number::F(f)))
+        .map_err(|_| Error::parse("bad number", start))
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(Number::U(u)) => out.push_str(&u.to_string()),
+        Value::Num(Number::I(i)) => out.push_str(&i.to_string()),
+        Value::Num(Number::F(f)) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                // Match serde_json's "1.0" rendering for whole floats.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_objects_and_arrays() {
+        let v = parse_value(r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap(), &Value::Arr(vec![
+            Value::Num(Number::U(1)),
+            Value::Num(Number::F(2.5)),
+            Value::Str("x".into()),
+        ]));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn round_trips_compact_text() {
+        let v = parse_value(r#"{"x":1,"y":[true,false],"z":"s"}"#).unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(out, r#"{"x":1,"y":[true,false],"z":"s"}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nope").is_err());
+        assert!(parse_value("{}extra").is_err());
+    }
+
+    #[test]
+    fn big_integers_are_exact() {
+        let v = parse_value("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse_value(r#""line\nquote\"end""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nquote\"end"));
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(out, r#""line\nquote\"end""#);
+    }
+}

@@ -37,14 +37,12 @@ fn single_namespace_spans_sites() {
 #[test]
 fn policy_change_takes_effect_on_next_write() {
     let mut ns = net();
-    let mut p = FilePolicy::default();
-    p.geo = GeoPolicy::none();
+    let p = FilePolicy { geo: GeoPolicy::none(), ..FilePolicy::default() };
     ns.create_file("/f", p, S0).unwrap();
     let w1 = ns.write_file(SimTime::ZERO, S0, 0, "/f", 0, MB).unwrap();
     assert_eq!(ns.stats.sync_replica_writes, 0);
     // Upgrade the file to synchronous replication "at any time" (§7.2).
-    let mut p2 = FilePolicy::default();
-    p2.geo = GeoPolicy::sync(2);
+    let p2 = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
     ns.fs.set_policy("/f", p2).unwrap();
     let w2 = ns.write_file(w1.done, S0, 0, "/f", 0, MB).unwrap();
     assert_eq!(ns.stats.sync_replica_writes, 1);
@@ -54,8 +52,7 @@ fn policy_change_takes_effect_on_next_write() {
 #[test]
 fn write_ordering_is_preserved_by_async_shipping() {
     let mut ns = net();
-    let mut p = FilePolicy::default();
-    p.geo = GeoPolicy::async_(2);
+    let p = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
     ns.create_file("/log", p, S0).unwrap();
     let mut t = SimTime::ZERO;
     for i in 0..30u64 {
@@ -92,12 +89,14 @@ fn migration_then_writer_invalidation_then_remigration() {
 #[test]
 fn preferred_site_policy_is_honoured() {
     let mut ns = net();
-    let mut p = FilePolicy::default();
-    p.geo = GeoPolicy {
-        mode: GeoMode::Synchronous,
-        site_copies: 2,
-        min_distance_km: 0.0,
-        preferred_sites: vec![2], // pin the replica to the continental site
+    let p = FilePolicy {
+        geo: GeoPolicy {
+            mode: GeoMode::Synchronous,
+            site_copies: 2,
+            min_distance_km: 0.0,
+            preferred_sites: vec![2], // pin the replica to the continental site
+        },
+        ..FilePolicy::default()
     };
     ns.create_file("/pinned", p, S0).unwrap();
     let w = ns.write_file(SimTime::ZERO, S0, 0, "/pinned", 0, MB).unwrap();
@@ -109,8 +108,7 @@ fn preferred_site_policy_is_honoured() {
 #[test]
 fn double_site_failure_with_three_copies_still_serves() {
     let mut ns = net();
-    let mut p = FilePolicy::default();
-    p.geo = GeoPolicy::sync(3);
+    let p = FilePolicy { geo: GeoPolicy::sync(3), ..FilePolicy::default() };
     ns.create_file("/vital", p, S0).unwrap();
     let mut t = ns.write_file(SimTime::ZERO, S0, 0, "/vital", 0, MB).unwrap().done;
     // With a sync(3) policy the nearest replica is sync; the far one async.
@@ -160,8 +158,7 @@ fn wan_distance_shapes_first_reference_latency() {
 fn single_system_image_report_covers_every_site() {
     let mut ns = net();
     ns.create_file("/f", FilePolicy::default(), S0).unwrap();
-    let mut pol = FilePolicy::default();
-    pol.geo = GeoPolicy::async_(2);
+    let pol = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
     ns.create_file("/g", pol, S0).unwrap();
     let t = ns.write_file(SimTime::ZERO, S0, 0, "/g", 0, MB).unwrap().done;
     ns.clusters[1].fail_blade(t, 0);

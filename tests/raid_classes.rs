@@ -91,8 +91,8 @@ fn per_file_policy_routes_extents_to_the_matching_class() {
     // Default file → class 0 (RAID5 group); scratch policy → RAID0 group.
     ns.create_file("/normal.dat", FilePolicy::default(), s0).unwrap();
     ns.create_file("/scratch.tmp", FilePolicy::scratch(), s0).unwrap();
-    let mut mirror_pol = FilePolicy::default();
-    mirror_pol.raid = Some(RaidLevel::Raid1 { copies: 2 });
+    let mirror_pol =
+        FilePolicy { raid: Some(RaidLevel::Raid1 { copies: 2 }), ..FilePolicy::default() };
     ns.create_file("/hot.db", mirror_pol, s0).unwrap();
 
     let mut t = SimTime::ZERO;
@@ -125,8 +125,8 @@ fn unknown_raid_override_falls_back_to_default_class() {
         site_cluster: tiered_cluster_cfg(),
         ..NetStorageConfig::default()
     });
-    let mut pol = FilePolicy::default();
-    pol.raid = Some(RaidLevel::Raid6); // no RAID6 group configured
+    // No RAID6 group is configured in this cluster.
+    let pol = FilePolicy { raid: Some(RaidLevel::Raid6), ..FilePolicy::default() };
     ns.create_file("/wants-r6.dat", pol, SiteId(0)).unwrap();
     ns.write_file(SimTime::ZERO, SiteId(0), 0, "/wants-r6.dat", 0, MB).unwrap();
     let ino = ns.fs.lookup("/wants-r6.dat").unwrap();
