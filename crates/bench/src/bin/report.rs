@@ -4,12 +4,20 @@
 //! ```text
 //! cargo run --release -p ys-bench --bin report            # all experiments
 //! cargo run --release -p ys-bench --bin report -- E1 E7   # a subset
+//! cargo run --release -p ys-bench --bin report -- --obs   # + ys-obs breakdown
 //! ```
+//!
+//! `--obs` appends the per-subsystem observability breakdown from an
+//! instrumented reference run; without it the output is byte-identical to
+//! the uninstrumented suite.
 
 use std::io::Write;
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = args.iter().any(|a| a == "--obs");
+    let filter: Vec<String> =
+        args.iter().filter(|a| a.as_str() != "--obs").map(|s| s.to_uppercase()).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let started = std::time::Instant::now();
@@ -28,6 +36,9 @@ fn main() {
             write!(out, "{}", s.render("x", "y")).unwrap();
         }
         writeln!(out).unwrap();
+    }
+    if obs {
+        write!(out, "{}", ys_bench::obs_breakdown::breakdown()).unwrap();
     }
     writeln!(out, "(suite completed in {:.1?})", started.elapsed()).unwrap();
 }

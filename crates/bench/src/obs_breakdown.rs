@@ -1,0 +1,92 @@
+//! The `--obs` appendix of the bench report: one instrumented reference
+//! run with a `ys-obs` metrics registry attached, rendered as
+//! per-subsystem and per-blade breakdowns.
+//!
+//! Kept separate from the experiment bodies so the default report path is
+//! byte-identical with observability off — tracing and collection happen
+//! only in here.
+
+use ys_cache::Retention;
+use ys_core::{BladeCluster, ClusterConfig};
+use ys_obs::{collect_cluster, record_trace_drops, Metric, MetricsRegistry, Table};
+use ys_proto::Workload;
+use ys_simcore::time::SimTime;
+
+/// Run a mixed Zipf workload on an instrumented cluster and render the
+/// registry grouped by subsystem, plus the per-blade ledger.
+pub fn breakdown() -> String {
+    const OPS: usize = 1200;
+    let mut c = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(8));
+    c.enable_tracing(8192);
+    let vol = c.create_volume("obs", 0, 4 << 30).expect("volume");
+    let mut wl = Workload::zipf(1 << 30, 64 * 1024, 1.0, 0.3, 7);
+    let mut t = SimTime::ZERO;
+    for i in 0..OPS {
+        let op = wl.next_op();
+        let done = if op.write {
+            c.write(t, i % 8, vol, op.offset, op.len, 2, Retention::Normal).expect("write")
+        } else {
+            c.read(t, i % 8, vol, op.offset, op.len).expect("read")
+        };
+        t = done.done;
+    }
+    let mut reg = MetricsRegistry::new();
+    collect_cluster(&mut reg, &c, t);
+    let (events, dropped) = c.take_trace();
+    record_trace_drops(&mut reg, "cluster", dropped);
+
+    let mut out = String::from("================================================================\n");
+    out.push_str("OBS per-subsystem breakdown (reference run: Zipf 1.0, 1200 ops, 30% writes)\n");
+    out.push_str("================================================================\n");
+    let mut agg = Table::new("aggregate metrics by subsystem", &["metric", "kind", "value"]);
+    for (key, metric) in reg.iter() {
+        if key.blade.is_some() {
+            continue;
+        }
+        let (kind, value) = match metric {
+            Metric::Counter(c) => (
+                "counter",
+                if c.bytes() > 0 { format!("{} ({} B)", c.count(), c.bytes()) } else { c.count().to_string() },
+            ),
+            Metric::Rate(r) => ("rate", format!("{:.2} MB/s", r.mb_per_sec())),
+            Metric::Latency(h) => (
+                "latency",
+                format!("p50 {:.0}us p99 {:.0}us n={}", h.p50().as_micros_f64(), h.p99().as_micros_f64(), h.count()),
+            ),
+            Metric::Gauge(v) => ("gauge", format!("{v:.3}")),
+        };
+        agg.row(vec![key.dotted(), kind.to_string(), value]);
+    }
+    out.push_str(&agg.render());
+    out.push('\n');
+    let mut per_blade = Table::new(
+        "per-blade ledger",
+        &["blade", "local hits", "remote hits", "misses", "evictions", "cpu util"],
+    );
+    for b in 0..4u32 {
+        use ys_obs::MetricKey;
+        per_blade.row(vec![
+            b.to_string(),
+            reg.counter_value(&MetricKey::scoped("cache", b, "local_hits")).to_string(),
+            reg.counter_value(&MetricKey::scoped("cache", b, "remote_hits")).to_string(),
+            reg.counter_value(&MetricKey::scoped("cache", b, "misses")).to_string(),
+            reg.counter_value(&MetricKey::scoped("cache", b, "evictions")).to_string(),
+            format!("{:.3}", reg.gauge_value(&MetricKey::scoped("core", b, "cpu_util")).unwrap_or(0.0)),
+        ]);
+    }
+    out.push_str(&per_blade.render());
+    out.push_str(&format!("\ntrace: {} events captured, {} dropped\n\n", events.len(), dropped));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn breakdown_renders_subsystem_and_blade_tables() {
+        let text = super::breakdown();
+        assert!(text.contains("aggregate metrics by subsystem"));
+        assert!(text.contains("per-blade ledger"));
+        assert!(text.contains("cache.hit_ratio"));
+        assert!(text.contains("trace:"));
+    }
+}

@@ -15,6 +15,7 @@
 use crate::directory::{DirEntry, Directory, PageKey, PageState};
 use crate::lru::{LruList, Retention};
 use std::collections::HashMap;
+use ys_simcore::SpanRecorder;
 
 /// Why a page occupies a blade's cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,7 +91,8 @@ pub struct ResidentPage {
     pub version: u64,
 }
 
-/// Aggregate statistics.
+/// Aggregate statistics, with a per-blade breakdown for the `ys-obs`
+/// observability layer (§6.3's hot-spot claim needs per-blade numbers).
 #[derive(Clone, Debug, Default)]
 pub struct CacheStats {
     pub local_hits: u64,
@@ -100,6 +102,21 @@ pub struct CacheStats {
     pub evictions: u64,
     pub destages: u64,
     pub replica_placements: u64,
+    /// Indexed by blade id; sized by [`CacheCluster::new`].
+    pub per_blade: Vec<BladeCacheStats>,
+}
+
+/// One blade's share of the cache activity. Hits and misses are attributed
+/// to the *requesting* blade; invalidations, evictions, and replica
+/// placements to the blade whose slot changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BladeCacheStats {
+    pub local_hits: u64,
+    pub remote_hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+    pub replicas_hosted: u64,
 }
 
 /// Errors surfaced to the orchestrator.
@@ -144,6 +161,7 @@ pub struct CacheCluster {
     pub(crate) blades: Vec<BladeSlot>,
     pub(crate) directory: Directory,
     stats: CacheStats,
+    trace: SpanRecorder,
 }
 
 impl CacheCluster {
@@ -159,7 +177,11 @@ impl CacheCluster {
                 })
                 .collect(),
             directory: Directory::new(blade_count),
-            stats: CacheStats::default(),
+            stats: CacheStats {
+                per_blade: vec![BladeCacheStats::default(); blade_count],
+                ..CacheStats::default()
+            },
+            trace: SpanRecorder::disabled(),
         }
     }
 
@@ -169,6 +191,17 @@ impl CacheCluster {
 
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Structured trace of directory transitions (disabled by default).
+    /// Orchestrators that own the simulated clock call
+    /// `trace_mut().set_now(..)` before driving cache operations.
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.trace
     }
 
     pub fn blade_up(&self, b: usize) -> bool {
@@ -218,6 +251,8 @@ impl CacheCluster {
                     self.blades[blade].pages.remove(&key);
                     self.detach_holder(key, blade);
                     self.stats.evictions += 1;
+                    self.stats.per_blade[blade].evictions += 1;
+                    self.trace.instant("cache", "evict", blade as u32, key.page, key.volume as u64);
                     evicted.push(key);
                 }
                 None => return Err(CacheError::EvictionStall(blade)),
@@ -249,12 +284,14 @@ impl CacheCluster {
                 Residency::Cached { .. } => {
                     self.blades[blade].lru.touch(&key);
                     self.stats.local_hits += 1;
+                    self.stats.per_blade[blade].local_hits += 1;
                     return Ok(ReadOutcome::LocalHit);
                 }
                 // A pinned dirty replica carries the current version of the
                 // data: serve it locally without disturbing its pin.
                 Residency::Replica => {
                     self.stats.local_hits += 1;
+                    self.stats.per_blade[blade].local_hits += 1;
                     return Ok(ReadOutcome::LocalHit);
                 }
             }
@@ -271,10 +308,14 @@ impl CacheCluster {
             Some(from) => {
                 self.install_shared(blade, key, Retention::Normal)?;
                 self.stats.remote_hits += 1;
+                self.stats.per_blade[blade].remote_hits += 1;
+                self.trace.instant("cache", "remote_hit", blade as u32, key.page, from as u64);
                 Ok(ReadOutcome::RemoteHit { from })
             }
             None => {
                 self.stats.misses += 1;
+                self.stats.per_blade[blade].misses += 1;
+                self.trace.instant("cache", "miss", blade as u32, key.page, key.volume as u64);
                 Ok(ReadOutcome::Miss)
             }
         }
@@ -341,6 +382,8 @@ impl CacheCluster {
             self.blades[*h].pages.remove(&key);
             self.blades[*h].lru.remove(&key);
             self.stats.invalidations += 1;
+            self.stats.per_blade[*h].invalidations += 1;
+            self.trace.instant("cache", "invalidate", *h as u32, key.page, blade as u64);
         }
         // Drop any stale replicas from a previous write generation.
         let old_replicas: Vec<usize> = self.directory.entry(key).replicas.clone();
@@ -365,6 +408,7 @@ impl CacheCluster {
             PageMeta { residency: Residency::Cached { state: PageState::Modified, dirty: true }, retention, version },
         );
         self.blades[blade].lru.insert(key, retention);
+        self.trace.instant("cache", "modify", blade as u32, key.page, version);
 
         // Place N−1 pinned replicas on peer blades, chosen deterministically
         // by page hash so replica load spreads.
@@ -392,6 +436,8 @@ impl CacheCluster {
                 self.blades[target].lru.insert(key, Retention::Pinned);
                 replicas.push(target);
                 self.stats.replica_placements += 1;
+                self.stats.per_blade[target].replicas_hosted += 1;
+                self.trace.instant("cache", "replica_place", target as u32, key.page, version);
             }
         }
         self.directory.entry(key).replicas = replicas.clone();
@@ -421,6 +467,7 @@ impl CacheCluster {
             e.sharers.push(owner);
         }
         self.stats.destages += 1;
+        self.trace.instant("cache", "destage", owner as u32, key.page, key.volume as u64);
         Ok(())
     }
 
@@ -486,8 +533,10 @@ impl CacheCluster {
                             },
                         );
                         self.blades[survivor].lru.insert(key, retention);
+                        self.trace.instant("cache", "promote", survivor as u32, key.page, blade as u64);
                         report.promoted.push(key);
                     } else {
+                        self.trace.instant("cache", "lost", blade as u32, key.page, key.volume as u64);
                         report.lost.push(key);
                         if !e.is_cached_anywhere() {
                             self.directory.remove(&key);

@@ -21,7 +21,8 @@ pub mod invariants;
 pub mod lru;
 
 pub use cluster::{
-    CacheCluster, CacheError, CacheStats, FailureReport, ReadOutcome, ResidentPage, WriteOutcome,
+    BladeCacheStats, CacheCluster, CacheError, CacheStats, FailureReport, ReadOutcome, ResidentPage,
+    WriteOutcome,
 };
 pub use directory::{DirEntry, Directory, PageKey, PageState};
 pub use heat::HeatTracker;

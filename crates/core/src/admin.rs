@@ -24,7 +24,7 @@ pub enum AdminOp {
     ExpandVolume { vol: VolumeId, new_bytes: u64 },
     Snapshot { vol: VolumeId },
     DeleteSnapshot { vol: VolumeId, snap: SnapshotId },
-    /// Instant recovery to a point-in-time image (ref [1] SnapRestore).
+    /// Instant recovery to a point-in-time image (ref \[1\] SnapRestore).
     Rollback { vol: VolumeId, snap: SnapshotId },
     /// Expose `vol` to an initiator.
     MaskGrant { initiator: u32, vol: VolumeId },

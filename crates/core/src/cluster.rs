@@ -277,7 +277,7 @@ impl BladeCluster {
         Ok(self.groups[gi].volumes.delete_snapshot(local, snap)?)
     }
 
-    /// Roll a volume back to a snapshot (instant recovery, §7.2 / ref [1]).
+    /// Roll a volume back to a snapshot (instant recovery, §7.2 / ref \[1\]).
     /// Cached pages of the volume are dropped — they describe overwritten
     /// data. Returns extents reclaimed from the divergence.
     pub fn rollback_volume(&mut self, vol: VolumeId, snap: ys_virt::SnapshotId) -> Result<u64, ClusterError> {
@@ -497,6 +497,7 @@ impl BladeCluster {
     ) -> Result<Completion, ClusterError> {
         assert!(len > 0);
         self.advance(now);
+        self.cache.trace_mut().set_now(now);
         let pb = self.cfg.page_bytes;
         let blade = self.pick_blade(vol, offset / pb)?;
         // Request command to the blade.
@@ -675,6 +676,9 @@ impl BladeCluster {
     ) -> Result<Completion, ClusterError> {
         assert!(len > 0);
         self.advance(now);
+        self.cache.trace_mut().set_now(now);
+        let (tgi, _) = Self::decode_vol(vol);
+        self.groups[tgi].volumes.trace_mut().set_now(now);
         let pb = self.cfg.page_bytes;
         let blade = self.pick_blade(vol, offset / pb)?;
         // Data travels client → blade (with in-transit decryption charge on
@@ -745,6 +749,7 @@ impl BladeCluster {
     /// page without a surviving replica is lost and counted.
     pub fn fail_blade(&mut self, now: SimTime, blade: usize) -> ys_cache::FailureReport {
         self.advance(now);
+        self.cache.trace_mut().set_now(now);
         let report = self.cache.fail_blade(blade);
         self.stats.dirty_pages_lost += report.lost.len() as u64;
         self.stats.dirty_pages_promoted += report.promoted.len() as u64;
@@ -803,6 +808,49 @@ impl BladeCluster {
     /// Per-blade CPU utilization at `until` — the hot-spot metric for E5.
     pub fn blade_utilizations(&self, until: SimTime) -> Vec<f64> {
         self.cpus.iter().map(|c| c.utilization(until)).collect()
+    }
+
+    /// Per-blade disk-side FC link utilization at `until`.
+    pub fn disk_link_utilizations(&self, until: SimTime) -> Vec<f64> {
+        self.disk_links.iter().map(|l| l.utilization(until)).collect()
+    }
+
+    /// Per-blade disk-side FC traffic: (messages, bytes).
+    pub fn disk_link_traffic(&self) -> Vec<(u64, u64)> {
+        self.disk_links.iter().map(|l| (l.messages(), l.bytes())).collect()
+    }
+
+    /// Enable structured tracing across the cluster's subsystems: cache
+    /// directory transitions, DMSD allocations, and disk-side FC transfers.
+    /// `capacity` bounds each subsystem's ring. Purely observational — no
+    /// simulated time or random draws change.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.cache.trace_mut().enable(capacity);
+        for g in &mut self.groups {
+            g.volumes.trace_mut().enable(capacity);
+        }
+        for (b, l) in self.disk_links.iter_mut().enumerate() {
+            l.enable_trace(b as u32, capacity);
+        }
+    }
+
+    /// Drain every subsystem trace ring, returning the events sorted by
+    /// time (ties broken by subsystem/name/lane for determinism) plus the
+    /// total number of events dropped to ring overflow.
+    pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
+        let mut events = Vec::new();
+        let mut dropped = self.cache.trace().dropped();
+        events.extend(self.cache.trace_mut().take());
+        for g in &mut self.groups {
+            dropped += g.volumes.trace().dropped();
+            events.extend(g.volumes.trace_mut().take());
+        }
+        for l in &mut self.disk_links {
+            dropped += l.trace().dropped();
+            events.extend(l.trace_mut().take());
+        }
+        events.sort_by_key(|e| (e.at, e.subsystem, e.name, e.lane));
+        (events, dropped)
     }
 
     /// Charge a plan against the primary group (rebuild driver, services).

@@ -11,6 +11,7 @@
 
 use ys_proto::plan_stream;
 use ys_simcore::time::{throughput_gbit_per_sec, SimDuration, SimTime};
+use ys_simcore::SpanEvent;
 use ys_simnet::{catalog, Link, LinkSpec, SharedBus};
 
 /// Result of one striped stream delivery.
@@ -52,6 +53,20 @@ impl Default for FastPathConfig {
 /// Deliver a large object of `object_bytes` through the striped fast path;
 /// returns the achieved stream rate.
 pub fn deliver_stream(cfg: &FastPathConfig, object_bytes: u64) -> StreamResult {
+    deliver_stream_traced(cfg, object_bytes, 0).0
+}
+
+/// [`deliver_stream`] with per-link tracing for the observability layer:
+/// with `trace_capacity > 0` every FC link, the PCI-X bus, and the output
+/// port record their transfer spans. Lanes: blade *b*'s FC port *p* is
+/// `b * ports + p`, the bus is `1000`, the output port `1001`. Also returns
+/// how many events overflowed the rings. Tracing never changes the
+/// simulated timings — `deliver_stream` is this with capacity 0.
+pub fn deliver_stream_traced(
+    cfg: &FastPathConfig,
+    object_bytes: u64,
+    trace_capacity: usize,
+) -> (StreamResult, Vec<SpanEvent>, u64) {
     assert!(cfg.blades > 0 && cfg.fc_ports_per_blade > 0);
     // Per-blade FC feed: each blade owns `fc_ports_per_blade` FC links and
     // alternates segments across them. Payload rate (1.7 Gb/s after 8b/10b)
@@ -62,6 +77,15 @@ pub fn deliver_stream(cfg: &FastPathConfig, object_bytes: u64) -> StreamResult {
         .collect();
     let mut bus = SharedBus::new(catalog::pci_x_266_bus());
     let mut port = Link::new(cfg.port);
+    if trace_capacity > 0 {
+        for (b, links) in fc_links.iter_mut().enumerate() {
+            for (p, l) in links.iter_mut().enumerate() {
+                l.enable_trace((b * cfg.fc_ports_per_blade + p) as u32, trace_capacity);
+            }
+        }
+        bus.enable_trace(1000, trace_capacity);
+        port.enable_trace(1001, trace_capacity);
+    }
 
     let plan = plan_stream(object_bytes, None, cfg.segment_bytes, cfg.blades);
     let mut last_arrival = SimTime::ZERO;
@@ -79,13 +103,27 @@ pub fn deliver_stream(cfg: &FastPathConfig, object_bytes: u64) -> StreamResult {
         last_arrival = last_arrival.max(out);
     }
     let elapsed = last_arrival.since(SimTime::ZERO);
-    StreamResult {
+    let result = StreamResult {
         bytes: plan.total_bytes,
         elapsed,
         gbit_per_sec: throughput_gbit_per_sec(plan.total_bytes, elapsed),
         bus_utilization: bus.utilization(last_arrival),
         port_utilization: port.utilization(last_arrival),
+    };
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for links in &mut fc_links {
+        for l in links {
+            dropped += l.trace().dropped();
+            events.extend(l.trace_mut().take());
+        }
     }
+    for l in [bus.link_mut(), &mut port] {
+        dropped += l.trace().dropped();
+        events.extend(l.trace_mut().take());
+    }
+    events.sort_by_key(|e| (e.at, e.lane));
+    (result, events, dropped)
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ pub mod services;
 pub use admin::{AdminError, AdminOp, AdminOutcome, ManagementPlane};
 pub use cluster::{BladeCluster, ClusterError, ClusterStats, Completion, RaidGroup, ServedFrom};
 pub use config::{ClusterConfig, CostModel, EncryptionConfig, LoadBalance};
-pub use fastpath::{deliver_stream, FastPathConfig, StreamResult};
+pub use fastpath::{deliver_stream, deliver_stream_traced, FastPathConfig, StreamResult};
 pub use frontend::{BlockReply, BlockTarget, FileReply, FileServer, TargetStats};
 pub use legacy::{LegacyArray, LegacyConfig, LegacyMode, LegacyStats};
 pub use netstorage::{DisasterReport, GeoStats, NetError, NetStorage, NetStorageConfig, SiteReport, SystemReport};

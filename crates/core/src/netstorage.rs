@@ -165,6 +165,48 @@ impl NetStorage {
         }
     }
 
+    /// Enable structured tracing across the whole multi-site system: the
+    /// replication engine's batch instants, every WAN link's transfer spans
+    /// (lane = `src * nsites + dst`), and each site cluster's internal
+    /// tracing. `capacity` bounds every ring individually.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.repl.trace_mut().enable(capacity);
+        let nsites = self.clusters.len();
+        for (s, row) in self.wan.iter_mut().enumerate() {
+            for (d, l) in row.iter_mut().enumerate() {
+                if let Some(l) = l {
+                    l.enable_trace((s * nsites + d) as u32, capacity);
+                }
+            }
+        }
+        for c in &mut self.clusters {
+            c.enable_tracing(capacity);
+        }
+    }
+
+    /// Drain every trace ring (replication engine, WAN links, site
+    /// clusters): events sorted by time, plus the total dropped count.
+    pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
+        let mut events = Vec::new();
+        let mut dropped = self.repl.trace().dropped();
+        events.extend(self.repl.trace_mut().take());
+        for row in self.wan.iter_mut() {
+            for l in row.iter_mut().flatten() {
+                dropped += l.trace().dropped();
+                events.extend(l.trace_mut().take());
+            }
+        }
+        for c in &mut self.clusters {
+            let (ev, d) = c.take_trace();
+            events.extend(ev);
+            dropped += d;
+        }
+        events.sort_by(|x, y| {
+            (x.at, x.subsystem, x.name, x.lane).cmp(&(y.at, y.subsystem, y.name, y.lane))
+        });
+        (events, dropped)
+    }
+
     fn wan_transfer(&mut self, now: SimTime, from: SiteId, to: SiteId, bytes: u64) -> Option<SimTime> {
         self.topology.link(from, to)?;
         self.wan[from.0][to.0].as_mut().map(|l| l.transfer(now, bytes).arrival)
@@ -327,6 +369,8 @@ impl NetStorage {
     pub fn ship_async(&mut self, now: SimTime, budget_bytes: u64) -> Result<SimTime, NetError> {
         let nsites = self.topology.len();
         let mut last = now;
+        // ReplicationEngine::ship is untimed; stamp its batch instants.
+        self.repl.trace_mut().set_now(now);
         for s in 0..nsites {
             for d in 0..nsites {
                 if s == d {

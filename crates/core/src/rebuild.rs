@@ -40,6 +40,18 @@ impl Rebuilder {
         }
     }
 
+    /// Enable structured tracing of rebuild phases (claim / complete /
+    /// requeue instants on the coordinator).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.coord.trace_mut().enable(capacity);
+    }
+
+    /// Drain the rebuild trace ring: (events, dropped count).
+    pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
+        let dropped = self.coord.trace().dropped();
+        (self.coord.trace_mut().take(), dropped)
+    }
+
     /// Progress in [0, 1].
     pub fn progress(&self) -> f64 {
         self.coord.progress()
@@ -80,6 +92,7 @@ impl Rebuilder {
             return Ok(false);
         };
         let (blade, avail) = self.workers[widx].expect("picked live worker");
+        self.coord.trace_mut().set_now(avail);
         let Some(batch) = self.coord.claim(blade) else {
             if self.coord.is_done() && self.finished_at.is_none() {
                 self.finished_at = Some(avail);
@@ -90,6 +103,7 @@ impl Rebuilder {
         // the replacement, covering the whole batch (see ys-raid::rebuild).
         let plan = rebuild_batch_plan(self.coord.geometry(), self.coord.failed_member(), batch.start, batch.rows());
         let t = cluster.charge_io_plan_in(self.group, blade, avail, &plan)?;
+        self.coord.trace_mut().set_now(t);
         self.coord.complete(blade);
         self.workers[widx] = Some((blade, t));
         if self.coord.is_done() {

@@ -9,6 +9,7 @@
 use crate::topology::SiteId;
 use std::collections::{HashMap, VecDeque};
 use ys_simcore::time::SimTime;
+use ys_simcore::SpanRecorder;
 
 /// One replicated write.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,6 +42,7 @@ pub struct ReplicationEngine {
     /// Sync replication counters (latency is charged by the orchestrator).
     sync_writes: u64,
     sync_bytes: u64,
+    trace: SpanRecorder,
 }
 
 impl Default for ReplicationEngine {
@@ -51,7 +53,24 @@ impl Default for ReplicationEngine {
 
 impl ReplicationEngine {
     pub fn new() -> ReplicationEngine {
-        ReplicationEngine { journals: HashMap::new(), next_seq: 0, sync_writes: 0, sync_bytes: 0 }
+        ReplicationEngine {
+            journals: HashMap::new(),
+            next_seq: 0,
+            sync_writes: 0,
+            sync_bytes: 0,
+            trace: SpanRecorder::disabled(),
+        }
+    }
+
+    /// Structured trace of replication batches (disabled by default). `ship`
+    /// and `source_cut` are untimed; the orchestrator calls
+    /// `trace_mut().set_now(..)` before them.
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.trace
     }
 
     fn stamp(&mut self) -> u64 {
@@ -77,6 +96,7 @@ impl ReplicationEngine {
         let j = self.journals.entry((src, dst)).or_default();
         j.queue.push_back(WriteRecord { seq, file, offset, len, created: now });
         j.pending_bytes += len;
+        self.trace.instant_at(now, "geo", "enqueue", dst.0 as u32, seq, len);
         seq
     }
 
@@ -109,6 +129,10 @@ impl ReplicationEngine {
                 break;
             }
         }
+        if !out.is_empty() {
+            let bytes: u64 = out.iter().map(|r| r.len).sum();
+            self.trace.instant("geo", "ship", dst.0 as u32, out.len() as u64, bytes);
+        }
         out
     }
 
@@ -139,6 +163,10 @@ impl ReplicationEngine {
             }
         }
         lost.sort_by_key(|r| r.seq);
+        if !lost.is_empty() {
+            let bytes: u64 = lost.iter().map(|r| r.len).sum();
+            self.trace.instant("geo", "source_cut", src.0 as u32, lost.len() as u64, bytes);
+        }
         lost
     }
 

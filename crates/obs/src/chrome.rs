@@ -1,0 +1,96 @@
+//! Chrome `trace_event` serialization.
+//!
+//! Converts the [`SpanEvent`] streams drained from subsystem rings into the
+//! JSON Array Format understood by `chrome://tracing` / Perfetto: complete
+//! events (`"ph":"X"`, microsecond `ts` + `dur`) for spans and thread-scoped
+//! instants (`"ph":"i"`) for zero-duration marks. The process id is always
+//! 0 (one simulated machine); the thread id is the event's lane (blade,
+//! port, worker, or site index), so chrome's per-track view becomes a
+//! per-blade timeline.
+
+use ys_simcore::SpanEvent;
+
+/// Render events as a Chrome trace_event JSON document
+/// (`{"traceEvents":[...]}`). Deterministic: the caller supplies the order
+/// (collectors sort by time).
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(e.name);
+        out.push_str("\",\"cat\":\"");
+        out.push_str(e.subsystem);
+        out.push_str("\",\"ph\":\"");
+        if e.is_instant() {
+            out.push_str("i\",\"s\":\"t");
+        } else {
+            out.push('X');
+        }
+        out.push_str("\",\"ts\":");
+        out.push_str(&micros(e.at.nanos()));
+        if !e.is_instant() {
+            out.push_str(",\"dur\":");
+            out.push_str(&micros(e.dur.nanos()));
+        }
+        out.push_str(&format!(
+            ",\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+            e.lane, e.a, e.b
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds → microseconds with exact 3-decimal rendering (chrome's `ts`
+/// unit is µs; floats would lose determinism).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ys_simcore::time::{SimDuration, SimTime};
+
+    fn span(at: u64, dur: u64, lane: u32) -> SpanEvent {
+        SpanEvent {
+            at: SimTime(at),
+            dur: SimDuration::from_nanos(dur),
+            subsystem: "simnet",
+            name: "xfer",
+            lane,
+            a: 4096,
+            b: 1,
+        }
+    }
+
+    #[test]
+    fn renders_valid_json_with_span_and_instant() {
+        let events =
+            vec![span(1_500, 2_000, 0), span(10_000, 0, 3) /* instant: dur 0 */];
+        let text = chrome_trace_json(&events);
+        let v = serde_json::parse_value(&text).expect("chrome trace must be valid JSON");
+        let arr = match v.get("traceEvents") {
+            Some(serde_json::Value::Arr(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(arr[0].get("ts").and_then(|t| t.as_f64()), Some(1.5));
+        assert_eq!(arr[0].get("dur").and_then(|t| t.as_f64()), Some(2.0));
+        assert_eq!(arr[1].get("ph").and_then(|p| p.as_str()), Some("i"));
+        assert_eq!(arr[1].get("s").and_then(|p| p.as_str()), Some("t"));
+        assert_eq!(arr[1].get("tid").and_then(|t| t.as_u64()), Some(3));
+        assert!(arr[1].get("dur").is_none(), "instants carry no dur");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(text, "{\"traceEvents\":[]}");
+        assert!(serde_json::parse_value(&text).is_ok());
+    }
+}

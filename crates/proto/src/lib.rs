@@ -5,7 +5,7 @@
 //! RSTP ... directly from the storage system onto the network."
 //!
 //! * [`block`] — SCSI-flavoured block commands with real wire framing;
-//! * [`file`] — NFS-flavoured file operations, including `SetPolicy` for
+//! * [`file`](mod@file) — NFS-flavoured file operations, including `SetPolicy` for
 //!   §4's per-file extended metadata;
 //! * [`stream`] — HTTP/FTP/RTSP/DICOM streaming requests and the striped
 //!   segment delivery plan of Figure 1;

@@ -12,6 +12,7 @@
 use crate::layout::Geometry;
 use crate::plan::{IoPlan, MemberIo};
 use std::collections::HashMap;
+use ys_simcore::SpanRecorder;
 
 /// A contiguous range of stripe rows `[start, end)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,6 +65,7 @@ pub struct RebuildCoordinator {
     /// Outstanding claims per worker.
     claims: HashMap<usize, RowBatch>,
     completed_rows: u64,
+    trace: SpanRecorder,
 }
 
 impl RebuildCoordinator {
@@ -79,7 +81,19 @@ impl RebuildCoordinator {
             requeued: Vec::new(),
             claims: HashMap::new(),
             completed_rows: 0,
+            trace: SpanRecorder::disabled(),
         }
+    }
+
+    /// Structured trace of rebuild phases (disabled by default). The
+    /// orchestrator driving workers calls `trace_mut().set_now(..)` as
+    /// simulated time advances.
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.trace
     }
 
     pub fn geometry(&self) -> &Geometry {
@@ -109,6 +123,7 @@ impl RebuildCoordinator {
             return None;
         };
         self.claims.insert(worker, batch);
+        self.trace.instant("raid", "claim", worker as u32, batch.start, batch.end);
         Some(batch)
     }
 
@@ -116,11 +131,13 @@ impl RebuildCoordinator {
     pub fn complete(&mut self, worker: usize) {
         let batch = self.claims.remove(&worker).expect("completing worker holds no batch");
         self.completed_rows += batch.rows();
+        self.trace.instant("raid", "complete", worker as u32, batch.start, batch.end);
     }
 
     /// Worker died: its outstanding batch (if any) returns to the queue.
     pub fn fail_worker(&mut self, worker: usize) {
         if let Some(batch) = self.claims.remove(&worker) {
+            self.trace.instant("raid", "requeue", worker as u32, batch.start, batch.end);
             self.requeued.push(batch);
         }
     }

@@ -27,4 +27,4 @@ pub use fault::{Availability, FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use rng::{Rng, Zipf};
 pub use stats::{Counter, LatencyHisto, RateMeter, Series, TimeWeighted};
 pub use time::{Bandwidth, SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{SpanEvent, SpanRecorder, TraceEvent, TraceRing};

@@ -16,6 +16,12 @@ impl Counter {
         Counter::default()
     }
 
+    /// A counter pre-loaded with totals measured elsewhere (importing a
+    /// subsystem's native (events, bytes) pair into a registry).
+    pub fn of(count: u64, bytes: u64) -> Counter {
+        Counter { count, sum_bytes: bytes }
+    }
+
     pub fn record(&mut self, bytes: u64) {
         self.count += 1;
         self.sum_bytes += bytes;
@@ -36,6 +42,15 @@ impl Counter {
     pub fn merge(&mut self, other: &Counter) {
         self.count += other.count;
         self.sum_bytes += other.sum_bytes;
+    }
+
+    /// Activity since `earlier` (a previous snapshot of this counter).
+    /// Saturating, so a mismatched pair degrades to zero rather than wrapping.
+    pub fn diff(&self, earlier: &Counter) -> Counter {
+        Counter {
+            count: self.count.saturating_sub(earlier.count),
+            sum_bytes: self.sum_bytes.saturating_sub(earlier.sum_bytes),
+        }
     }
 }
 
@@ -156,6 +171,24 @@ impl LatencyHisto {
         self.max_ns = self.max_ns.max(other.max_ns);
         self.min_ns = self.min_ns.min(other.min_ns);
     }
+
+    /// Samples recorded since `earlier` (a previous snapshot of this histo).
+    /// Because `merge` is bucket-additive, the diff is exact bucket-wise
+    /// subtraction; `min`/`max` keep the later snapshot's whole-run extremes
+    /// (per-interval extremes are not recoverable from log buckets).
+    pub fn diff(&self, earlier: &LatencyHisto) -> LatencyHisto {
+        let mut out = LatencyHisto::new();
+        for (idx, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            out.buckets[idx] = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        if out.count > 0 {
+            out.max_ns = self.max_ns;
+            out.min_ns = self.min_ns;
+        }
+        out
+    }
 }
 
 /// Bytes-over-time rate meter.
@@ -211,6 +244,33 @@ impl RateMeter {
         } else {
             self.ops as f64 / e.as_secs_f64()
         }
+    }
+
+    /// Combine two meters (e.g. per-blade meters into an aggregate): traffic
+    /// adds, and the window stretches to cover both.
+    pub fn merge(&mut self, other: &RateMeter) {
+        if other.ops == 0 && other.bytes == 0 {
+            return;
+        }
+        self.bytes += other.bytes;
+        self.ops += other.ops;
+        self.start = match (self.start, other.start) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.end = self.end.max(other.end);
+    }
+
+    /// Traffic since `earlier` (a previous snapshot of this meter): bytes and
+    /// ops subtract, and the window starts where the earlier snapshot ended.
+    pub fn diff(&self, earlier: &RateMeter) -> RateMeter {
+        let bytes = self.bytes.saturating_sub(earlier.bytes);
+        let ops = self.ops.saturating_sub(earlier.ops);
+        if ops == 0 && bytes == 0 {
+            return RateMeter::new();
+        }
+        let start = if earlier.start.is_some() { Some(earlier.end) } else { self.start };
+        RateMeter { bytes, ops, start, end: self.end }
     }
 }
 
@@ -373,6 +433,58 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.p99(), SimDuration::ZERO);
         assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counter_diff_is_interval_activity() {
+        let mut c = Counter::new();
+        c.record(100);
+        let snap = c.clone();
+        c.record(50);
+        c.incr();
+        let d = c.diff(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.bytes(), 50);
+        // diff against a *newer* snapshot saturates instead of wrapping
+        let z = snap.diff(&c);
+        assert_eq!(z.count(), 0);
+    }
+
+    #[test]
+    fn histo_diff_recovers_interval_quantiles() {
+        let mut h = LatencyHisto::new();
+        for i in 1..=100u64 {
+            h.record(SimDuration::from_nanos(i));
+        }
+        let snap = h.clone();
+        for _ in 0..1000 {
+            h.record(SimDuration::from_nanos(1_000_000));
+        }
+        let d = h.diff(&snap);
+        assert_eq!(d.count(), 1000);
+        // the interval contained only 1 ms samples; early fast ones subtract out
+        assert!(d.p50().nanos() > 500_000, "p50 {}", d.p50().nanos());
+    }
+
+    #[test]
+    fn rate_meter_merge_and_diff() {
+        let mut a = RateMeter::new();
+        a.record(SimTime(0), 10);
+        a.record(SimTime(1_000_000_000), 10);
+        let snap = a.clone();
+        a.record(SimTime(2_000_000_000), 80);
+        let d = a.diff(&snap);
+        assert_eq!(d.bytes(), 80);
+        assert_eq!(d.elapsed(), SimDuration::from_nanos(1_000_000_000));
+        let mut m = RateMeter::new();
+        m.merge(&snap);
+        m.merge(&d);
+        assert_eq!(m.bytes(), 100);
+        assert_eq!(m.ops(), 3);
+        assert_eq!(m.elapsed(), SimDuration::from_nanos(2_000_000_000));
+        // merging an empty meter changes nothing
+        m.merge(&RateMeter::new());
+        assert_eq!(m.bytes(), 100);
     }
 
     #[test]

@@ -1,10 +1,18 @@
-//! Bounded event tracing for simulation debugging.
+//! Bounded event tracing for simulation debugging and observability.
 //!
-//! A [`TraceRing`] keeps the last N events with their simulated timestamps;
-//! experiments and tests can dump the tail when something looks wrong
-//! without paying unbounded memory for long runs.
+//! Two recorders live here:
+//!
+//! * [`TraceRing`] — free-form `String` messages for ad-hoc debugging;
+//!   experiments and tests can dump the tail when something looks wrong
+//!   without paying unbounded memory for long runs.
+//! * [`SpanRecorder`] — the structured recorder behind the `ys-obs`
+//!   observability layer. Events are fixed-size [`SpanEvent`] values
+//!   (`&'static str` names, integer args), so the hot path never allocates
+//!   and a *disabled* recorder costs a single branch. Data-path crates
+//!   (cache, virt, raid, geo, simnet) emit through it; `ys-obs` drains the
+//!   rings and serializes Chrome `trace_event` JSON.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// One trace record.
@@ -89,6 +97,146 @@ impl TraceRing {
     }
 }
 
+/// One structured trace record: an instant (`dur == 0`) or a span.
+///
+/// Field meanings follow the schema in `docs/observability.md`:
+/// `subsystem` is the emitting crate ("cache", "virt", "raid", "geo",
+/// "simnet"), `name` the transition ("invalidate", "dmsd_alloc", "claim",
+/// "ship", "xfer", ...), `lane` a blade / worker / link index, and `a`/`b`
+/// two event-specific integers (page and version, bytes and count, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub at: SimTime,
+    pub dur: SimDuration,
+    pub subsystem: &'static str,
+    pub name: &'static str,
+    pub lane: u32,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl SpanEvent {
+    /// Instants are zero-duration events (`ph: "i"` in Chrome traces).
+    pub fn is_instant(&self) -> bool {
+        self.dur.is_zero()
+    }
+}
+
+/// Ring-buffered structured recorder, disabled by default.
+///
+/// Subsystems that already know the simulated time emit with
+/// [`SpanRecorder::instant_at`] / [`SpanRecorder::span_at`]. Untimed state
+/// machines (the cache directory, the DMSD volume manager, the rebuild
+/// coordinator) instead emit with [`SpanRecorder::instant`], which stamps
+/// the clock last supplied by their time-aware orchestrator via
+/// [`SpanRecorder::set_now`].
+///
+/// When the ring is full the *oldest* event is dropped and the drop is
+/// counted; `ys-obs` surfaces the drop count as its own metric so truncated
+/// traces are never mistaken for complete ones.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecorder {
+    enabled: bool,
+    now: SimTime,
+    capacity: usize,
+    events: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+impl SpanRecorder {
+    /// A disabled recorder: every emit is a single branch, no allocation.
+    pub fn disabled() -> SpanRecorder {
+        SpanRecorder::default()
+    }
+
+    /// Enable recording with a fixed ring capacity. `capacity == 0` leaves
+    /// the recorder disabled (convenient for "trace capacity" knobs).
+    pub fn enable(&mut self, capacity: usize) {
+        if capacity == 0 {
+            self.disable();
+            return;
+        }
+        self.enabled = true;
+        self.capacity = capacity;
+    }
+
+    /// Stop recording; already-captured events are retained.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Supply the simulated clock for subsequent [`SpanRecorder::instant`]
+    /// emits. Called by orchestrators that own the clock, on behalf of the
+    /// untimed state machines beneath them.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Record an instant at the clock set by [`SpanRecorder::set_now`].
+    pub fn instant(&mut self, subsystem: &'static str, name: &'static str, lane: u32, a: u64, b: u64) {
+        let at = self.now;
+        self.instant_at(at, subsystem, name, lane, a, b);
+    }
+
+    /// Record an instant at an explicit simulated time.
+    pub fn instant_at(&mut self, at: SimTime, subsystem: &'static str, name: &'static str, lane: u32, a: u64, b: u64) {
+        self.span_at(at, SimDuration::ZERO, subsystem, name, lane, a, b);
+    }
+
+    /// Record a span `[at, at + dur)` at an explicit simulated time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_at(
+        &mut self,
+        at: SimTime,
+        dur: SimDuration,
+        subsystem: &'static str,
+        name: &'static str,
+        lane: u32,
+        a: u64,
+        b: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SpanEvent { at, dur, subsystem, name, lane, a, b });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted to make room (how much history was lost).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Oldest→newest iteration over retained events.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter()
+    }
+
+    /// Drain retained events (oldest→newest), keeping the recorder enabled.
+    pub fn take(&mut self) -> Vec<SpanEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +260,63 @@ mod tests {
         assert!(r.is_empty());
         r.set_enabled(true);
         r.record(SimTime(2), "t", "y");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn span_recorder_disabled_is_noop_and_default() {
+        let mut r = SpanRecorder::default();
+        assert!(!r.is_enabled());
+        r.instant_at(SimTime(1), "cache", "miss", 0, 1, 2);
+        r.span_at(SimTime(1), SimDuration::from_nanos(5), "simnet", "xfer", 0, 1, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn span_recorder_overflow_drops_oldest_and_counts() {
+        let mut r = SpanRecorder::disabled();
+        r.enable(3);
+        for i in 0..8u64 {
+            r.instant_at(SimTime(i), "raid", "claim", i as u32, i, 0);
+        }
+        assert_eq!(r.len(), 3, "ring holds exactly its capacity");
+        assert_eq!(r.dropped(), 5, "every eviction is counted");
+        let lanes: Vec<u32> = r.events().map(|e| e.lane).collect();
+        assert_eq!(lanes, vec![5, 6, 7], "oldest events dropped first");
+    }
+
+    #[test]
+    fn span_recorder_set_now_stamps_instants() {
+        let mut r = SpanRecorder::disabled();
+        r.enable(8);
+        r.set_now(SimTime(42));
+        r.instant("virt", "dmsd_alloc", 1, 16, 0);
+        let e = r.events().next().copied().expect("one event");
+        assert_eq!(e.at, SimTime(42));
+        assert!(e.is_instant());
+        r.span_at(SimTime(50), SimDuration::from_nanos(7), "simnet", "xfer", 2, 4096, 1);
+        assert!(!r.events().nth(1).expect("span").is_instant());
+    }
+
+    #[test]
+    fn span_recorder_enable_zero_capacity_stays_disabled() {
+        let mut r = SpanRecorder::disabled();
+        r.enable(0);
+        assert!(!r.is_enabled());
+        r.instant_at(SimTime(1), "cache", "miss", 0, 0, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn span_recorder_take_drains_but_keeps_recording() {
+        let mut r = SpanRecorder::disabled();
+        r.enable(4);
+        r.instant_at(SimTime(1), "geo", "enqueue", 0, 1, 10);
+        let drained = r.take();
+        assert_eq!(drained.len(), 1);
+        assert!(r.is_empty() && r.is_enabled());
+        r.instant_at(SimTime(2), "geo", "ship", 0, 1, 10);
         assert_eq!(r.len(), 1);
     }
 

@@ -76,6 +76,29 @@ impl Fabric {
     pub fn next_free(&self, from: PortId) -> SimTime {
         self.egress[from].next_free()
     }
+
+    /// Enable transfer tracing on every port. Egress port *p* gets lane
+    /// `lane_base + 2p`, its ingress twin `lane_base + 2p + 1`.
+    pub fn enable_trace(&mut self, lane_base: u32, capacity_per_port: usize) {
+        for (p, l) in self.egress.iter_mut().enumerate() {
+            l.enable_trace(lane_base + 2 * p as u32, capacity_per_port);
+        }
+        for (p, l) in self.ingress.iter_mut().enumerate() {
+            l.enable_trace(lane_base + 2 * p as u32 + 1, capacity_per_port);
+        }
+    }
+
+    /// Drain trace spans from every port (oldest→newest per port), plus the
+    /// total number of events the port rings dropped.
+    pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for l in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
+            dropped += l.trace().dropped();
+            events.extend(l.trace_mut().take());
+        }
+        (events, dropped)
+    }
 }
 
 /// One serialization resource shared by every attached party.
@@ -103,6 +126,20 @@ impl SharedBus {
 
     pub fn next_free(&self) -> SimTime {
         self.link.next_free()
+    }
+
+    /// Enable transfer tracing on the shared serialization resource.
+    pub fn enable_trace(&mut self, lane: u32, capacity: usize) {
+        self.link.enable_trace(lane, capacity);
+    }
+
+    /// The underlying link, for trace collection.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    pub fn link_mut(&mut self) -> &mut Link {
+        &mut self.link
     }
 }
 

@@ -12,6 +12,7 @@
 //! cites (Fibre Channel, Ethernet) behave.
 
 use ys_simcore::time::{Bandwidth, SimDuration, SimTime};
+use ys_simcore::SpanRecorder;
 
 /// Immutable description of a link's performance envelope.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +65,8 @@ pub struct Link {
     first_use: Option<SimTime>,
     messages: u64,
     bytes: u64,
+    trace: SpanRecorder,
+    lane: u32,
 }
 
 impl Link {
@@ -75,11 +78,29 @@ impl Link {
             first_use: None,
             messages: 0,
             bytes: 0,
+            trace: SpanRecorder::disabled(),
+            lane: 0,
         }
     }
 
     pub fn spec(&self) -> LinkSpec {
         self.spec
+    }
+
+    /// Enable structured tracing of transfers on this link, labelling its
+    /// events with `lane` (a port / blade / hop index for chrome://tracing).
+    pub fn enable_trace(&mut self, lane: u32, capacity: usize) {
+        self.lane = lane;
+        self.trace.enable(capacity);
+    }
+
+    /// Structured trace of transfer spans (disabled by default).
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.trace
     }
 
     /// Earliest instant a new message submitted now could begin serializing.
@@ -97,6 +118,7 @@ impl Link {
         self.first_use.get_or_insert(now);
         self.messages += 1;
         self.bytes += bytes;
+        self.trace.span_at(start, serialize, "simnet", "xfer", self.lane, bytes, self.messages);
         Transfer { start, serialized, arrival: serialized + self.spec.propagation }
     }
 

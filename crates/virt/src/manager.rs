@@ -6,6 +6,7 @@ use crate::extent::{ExtentMap, Segment};
 use crate::pool::{OutOfSpace, PhysicalPool};
 use crate::volume::{Snapshot, SnapshotId, VirtualVolume, VolumeId, VolumeKind};
 use std::collections::BTreeMap;
+use ys_simcore::SpanRecorder;
 
 /// What a write did to the mapping (the sim charges allocation work; the
 /// DMSD experiment counts allocations).
@@ -81,15 +82,27 @@ pub struct VolumeManager {
     pool: PhysicalPool,
     volumes: BTreeMap<VolumeId, VirtualVolume>,
     next_volume: u32,
+    trace: SpanRecorder,
 }
 
 impl VolumeManager {
     pub fn new(pool: PhysicalPool) -> VolumeManager {
-        VolumeManager { pool, volumes: BTreeMap::new(), next_volume: 0 }
+        VolumeManager { pool, volumes: BTreeMap::new(), next_volume: 0, trace: SpanRecorder::disabled() }
     }
 
     pub fn pool(&self) -> &PhysicalPool {
         &self.pool
+    }
+
+    /// Structured trace of DMSD mapping transitions (disabled by default).
+    /// The time-aware orchestrator calls `trace_mut().set_now(..)` before
+    /// driving writes, since the volume manager itself is untimed.
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.trace
     }
 
     pub fn volume(&self, id: VolumeId) -> Option<&VirtualVolume> {
@@ -193,6 +206,8 @@ impl VolumeManager {
                         v += l;
                     }
                     effect.allocated += len;
+                    // §3 first-write: the hole just became backed storage.
+                    self.trace.instant("virt", "dmsd_alloc", id.0, vstart, len);
                 }
                 Segment::Mapped { vstart, pstart, len } => {
                     // Extent-by-extent refcount scan, batching runs of the
@@ -217,6 +232,7 @@ impl VolumeManager {
                                 v += l;
                             }
                             effect.redirected += run_len;
+                            self.trace.instant("virt", "redirect", id.0, vstart + i, run_len);
                         } else {
                             effect.in_place += run_len;
                         }
@@ -290,6 +306,7 @@ impl VolumeManager {
         }
         let sid = vol.next_snapshot_id();
         vol.snapshots.push(Snapshot { id: sid, map: frozen });
+        self.trace.instant("virt", "snapshot", id.0, sid.0 as u64, 0);
         Ok(sid)
     }
 
@@ -310,7 +327,7 @@ impl VolumeManager {
     }
 
     /// Roll the live volume back to a snapshot's image (the paper's
-    /// SnapRestore reference [1]): live-only extents are released, the
+    /// SnapRestore reference \[1\]): live-only extents are released, the
     /// frozen mapping becomes current again. The snapshot itself survives
     /// (it can be rolled back to repeatedly). Returns extents freed.
     pub fn rollback(&mut self, id: VolumeId, sid: SnapshotId) -> Result<u64, VirtError> {

@@ -7,10 +7,14 @@
 //!   controller blade instead of failing one request. Lines carrying an
 //!   inline `// lint: allow` marker (for invariants that are provably
 //!   infallible) or matched by `crates/xtask/lint-allow.txt` are exempt.
+//! * `doc` — build the workspace rustdoc with warnings denied
+//!   (`RUSTDOCFLAGS="-D warnings" cargo doc --no-deps`), so broken intra-doc
+//!   links and malformed doc comments fail the hygiene gate instead of
+//!   rotting silently.
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 /// Crates whose library code must not panic on fallible paths.
 const LINTED_CRATES: &[&str] = &["crates/cache/src", "crates/virt/src", "crates/simcore/src"];
@@ -24,13 +28,42 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("doc") => doc(),
         Some(other) => {
-            eprintln!("xtask: unknown command {other}\nusage: cargo xtask lint");
+            eprintln!("xtask: unknown command {other}\nusage: cargo xtask <lint|doc>");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|doc>");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Build the workspace docs with rustdoc warnings promoted to errors.
+fn doc() -> ExitCode {
+    let root = repo_root();
+    let mut flags = std::env::var("RUSTDOCFLAGS").unwrap_or_default();
+    if !flags.contains("-D warnings") {
+        if !flags.is_empty() {
+            flags.push(' ');
+        }
+        flags.push_str("-D warnings");
+    }
+    let status = Command::new("cargo")
+        .args(["doc", "--no-deps", "--workspace"])
+        .current_dir(&root)
+        .env("RUSTDOCFLAGS", flags)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            println!("xtask doc: workspace rustdoc clean (-D warnings)");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask doc: cannot spawn cargo: {e}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> cargo xtask doc (rustdoc, -D warnings)"
+cargo xtask doc
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
