@@ -75,7 +75,54 @@ pub fn breakdown() -> String {
         ]);
     }
     out.push_str(&per_blade.render());
-    out.push_str(&format!("\ntrace: {} events captured, {} dropped\n\n", events.len(), dropped));
+    out.push_str(&format!("\ntrace: {} events captured, {} dropped\n", events.len(), dropped));
+    out.push('\n');
+    out.push_str(&qos_chargeback());
+    out
+}
+
+/// A two-tenant run with `ys-qos` admission control on, rendered as the
+/// per-tenant chargeback ledger: QoS class x provisioned/actual capacity,
+/// plus how often the policy throttled or shed each tenant.
+fn qos_chargeback() -> String {
+    use ys_qos::{QosClass, QosConfig, TenantSpec};
+    const PAGE: u64 = 64 * 1024;
+    let policy = QosConfig::new()
+        .with_tenant(TenantSpec::new(1, "prod", QosClass::Premium).weight(2))
+        .with_tenant(
+            TenantSpec::new(2, "batch", QosClass::Scavenger)
+                .rate_mb_per_sec(8)
+                .burst_bytes(512 * 1024),
+        );
+    let mut c = BladeCluster::new(
+        ClusterConfig::default().with_blades(2).with_disks(8).with_qos(policy),
+    );
+    let prod = c.create_volume("prod", 1, 1 << 30).expect("volume");
+    let batch = c.create_volume("batch", 2, 2 << 30).expect("volume");
+    let mut t = SimTime::ZERO;
+    for i in 0..200u64 {
+        if let Ok(d) = c.write_as(t, 1, 0, prod, (i % 64) * PAGE, PAGE, 2, Retention::Normal) {
+            t = d.done;
+        }
+        // The batch tenant pushes 4x its token rate: part throttled, part shed.
+        let _ = c.write_as(t, 2, 1, batch, (i % 64) * 4 * PAGE, 4 * PAGE, 2, Retention::Normal);
+    }
+    let mut table = Table::new(
+        "per-tenant QoS chargeback (2 tenants, scavenger pushing 4x its token rate)",
+        &["tenant", "class", "provisioned MiB", "actual MiB", "throttled", "shed"],
+    );
+    for line in c.chargeback() {
+        table.row(vec![
+            line.tenant.to_string(),
+            QosClass::from_id(line.qos_class).map(|q| q.name()).unwrap_or("-").to_string(),
+            (line.provisioned_bytes >> 20).to_string(),
+            (line.actual_bytes >> 20).to_string(),
+            line.throttled_requests.to_string(),
+            line.shed_requests.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push('\n');
     out
 }
 
@@ -88,5 +135,19 @@ mod tests {
         assert!(text.contains("per-blade ledger"));
         assert!(text.contains("cache.hit_ratio"));
         assert!(text.contains("trace:"));
+    }
+
+    #[test]
+    fn chargeback_table_shows_class_and_shed_counts() {
+        let text = super::qos_chargeback();
+        assert!(text.contains("per-tenant QoS chargeback"));
+        assert!(text.contains("premium"));
+        assert!(text.contains("scavenger"));
+        // The overdriven batch tenant must show policed requests.
+        let batch_row = text.lines().find(|l| l.trim_start().starts_with("2 ")).expect("batch row");
+        let cols: Vec<&str> = batch_row.split_whitespace().collect();
+        let throttled: u64 = cols[cols.len() - 2].parse().expect("throttled");
+        let shed: u64 = cols[cols.len() - 1].parse().expect("shed");
+        assert!(throttled + shed > 0, "batch tenant was policed: {batch_row}");
     }
 }

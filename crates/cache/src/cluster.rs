@@ -490,6 +490,36 @@ impl CacheCluster {
     }
 
     /// Pages currently dirty at `blade` (owner copies awaiting destage).
+    /// Fraction of the pooled cache holding un-destaged state: dirty
+    /// owner pages plus their protection replicas, over the pooled
+    /// capacity of up blades. This is the backpressure signal the QoS
+    /// admission controller keys off (`ys-qos`): a high dirty ratio
+    /// means writes are outrunning destage and new low-priority work
+    /// should be delayed or shed. Returns 0 when no capacity is up.
+    pub fn dirty_ratio(&self) -> f64 {
+        let capacity = self.pooled_capacity();
+        if capacity == 0 {
+            return 0.0;
+        }
+        let undestaged: usize = self
+            .blades
+            .iter()
+            .filter(|b| b.up)
+            .map(|b| {
+                b.pages
+                    .values()
+                    .filter(|m| {
+                        matches!(
+                            m.residency,
+                            Residency::Cached { dirty: true, .. } | Residency::Replica
+                        )
+                    })
+                    .count()
+            })
+            .sum();
+        undestaged as f64 / capacity as f64
+    }
+
     pub fn dirty_pages(&self, blade: usize) -> Vec<PageKey> {
         self.blades[blade]
             .pages
@@ -658,6 +688,22 @@ mod tests {
         assert_eq!(out.replicas.len(), 2);
         assert!(!out.replicas.contains(&0));
         assert_eq!(c.stats().replica_placements, 2);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_ratio_tracks_undestaged_state() {
+        let mut c = CacheCluster::new(4, 16);
+        assert_eq!(c.dirty_ratio(), 0.0);
+        // Clean fills don't count.
+        c.fill(0, key(1), Retention::Normal).unwrap();
+        assert_eq!(c.dirty_ratio(), 0.0);
+        // A 2-way write pins one dirty owner + one replica: 2 / 64 pages.
+        c.write(0, key(2), 2, Retention::Normal).unwrap();
+        assert!((c.dirty_ratio() - 2.0 / 64.0).abs() < 1e-12, "{}", c.dirty_ratio());
+        // Destage cleans both.
+        c.destage(key(2)).unwrap();
+        assert_eq!(c.dirty_ratio(), 0.0);
         c.check_invariants().unwrap();
     }
 

@@ -9,7 +9,9 @@
 //! * replica-set protection — no acknowledged dirty page lost while fewer
 //!   blades failed than copies held (§6.1's N−1 guarantee);
 //! * directory-vs-LRU residency agreement and per-blade capacity (§2.2);
-//! * DMSD allocated-block conservation across snapshot/rollback (§3).
+//! * DMSD allocated-block conservation across snapshot/rollback (§3);
+//! * QoS admission-ledger balance, token/burst bounds, in-flight caps, and
+//!   counter monotonicity (`ys-qos`).
 //!
 //! States deduplicate by a canonical 128-bit hash that normalizes unbounded
 //! counters (absolute write versions hash as ranks), so the explored space
@@ -23,9 +25,11 @@
 pub mod cache_model;
 pub mod explore;
 pub mod hash;
+pub mod qos_model;
 pub mod virt_model;
 
 pub use cache_model::{render_trace, CacheModel, Op, Scope};
 pub use explore::{explore, Counterexample, Exploration, Limits, Model, SearchOrder};
 pub use hash::StateHasher;
+pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};
 pub use virt_model::{render_virt_trace, VirtModel, VirtOp, VirtScope};

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p ys-check --release -- --blades 3 --pages 4 --depth 5
 //! cargo run -p ys-check --release -- --virt --depth 6
+//! cargo run -p ys-check --release -- --qos --depth 7
 //! ```
 //!
 //! Exit status is 0 when the explored space is violation-free, 1 when a
@@ -12,8 +13,8 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore, render_trace, render_virt_trace, CacheModel, Exploration, Limits, Scope, SearchOrder,
-    VirtModel, VirtScope,
+    explore, render_qos_trace, render_trace, render_virt_trace, CacheModel, Exploration, Limits,
+    QosModel, QosScope, Scope, SearchOrder, VirtModel, VirtScope,
 };
 
 struct Args {
@@ -25,6 +26,7 @@ struct Args {
     max_states: usize,
     order: SearchOrder,
     virt: bool,
+    qos: bool,
 }
 
 impl Default for Args {
@@ -38,6 +40,7 @@ impl Default for Args {
             max_states: 2_000_000,
             order: SearchOrder::Bfs,
             virt: false,
+            qos: false,
         }
     }
 }
@@ -56,6 +59,7 @@ OPTIONS:
   --max-states N   stop after N distinct states      (default 2000000)
   --dfs            depth-first order (default: breadth-first)
   --virt           check the DMSD volume manager instead of the cache
+  --qos            check the ys-qos admission controller instead
   -h, --help       print this help
 ";
 
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--max-states" => args.max_states = num("--max-states")? as usize,
             "--dfs" => args.order = SearchOrder::Dfs,
             "--virt" => args.virt = true,
+            "--qos" => args.qos = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -108,7 +113,23 @@ fn main() -> ExitCode {
     };
     let limits = Limits { max_depth: args.depth, max_states: args.max_states };
 
-    if args.virt {
+    if args.qos {
+        let scope = QosScope::small();
+        let result = explore(QosModel::new(scope), limits, args.order);
+        report(
+            &format!(
+                "QoS admission model, 2 tenants, quantum {} us, depth {}",
+                scope.quantum_ns / 1000,
+                args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_qos_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else if args.virt {
         let scope = VirtScope::small();
         let result = explore(VirtModel::new(scope), limits, args.order);
         report(

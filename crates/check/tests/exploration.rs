@@ -7,8 +7,8 @@
 //! copy it into `tests/replays.rs` before fixing the bug.
 
 use ys_check::{
-    explore, render_trace, render_virt_trace, CacheModel, Limits, Scope, SearchOrder, VirtModel,
-    VirtScope,
+    explore, render_qos_trace, render_trace, render_virt_trace, CacheModel, Limits, QosModel,
+    QosScope, Scope, SearchOrder, VirtModel, VirtScope,
 };
 
 #[test]
@@ -106,6 +106,30 @@ fn dmsd_conservation_holds_through_depth_6() {
     assert!(
         result.states_visited >= 10_000,
         "expected ≥ 10k distinct states, saw {}",
+        result.states_visited
+    );
+}
+
+#[test]
+fn qos_admission_machine_holds_through_depth_7() {
+    let scope = QosScope::small();
+    let result = explore(
+        QosModel::new(scope),
+        Limits { max_depth: 7, max_states: 2_000_000 },
+        SearchOrder::Bfs,
+    );
+    if let Some(cx) = &result.counterexample {
+        panic!(
+            "admission violation after {} ops:\n{}",
+            cx.trace.len(),
+            render_qos_trace(&cx.trace, scope, &cx.violations)
+        );
+    }
+    assert!(!result.truncated, "depth-7 QoS scope must be explored exhaustively");
+    assert_eq!(result.deepest, 7);
+    assert!(
+        result.states_visited >= 10_000,
+        "expected >= 10k distinct states, saw {}",
         result.states_visited
     );
 }

@@ -16,6 +16,7 @@ use ys_raid::{Geometry, IoPlan};
 use ys_simcore::stats::{LatencyHisto, RateMeter};
 use ys_simcore::time::{SimDuration, SimTime};
 use ys_simdisk::{DiskFarm, DiskId, DiskOp};
+use ys_qos::{AdmissionController, Decision, Pressure, ShedReason};
 use ys_simnet::{catalog, Fabric, Link, LinkSpec};
 use ys_virt::{PhysicalPool, Segment, VirtError, VolumeId, VolumeKind, VolumeManager};
 
@@ -42,6 +43,8 @@ pub enum ClusterError {
     Raid(ys_raid::DataLoss),
     Disk(ys_simdisk::DiskError),
     NoBladesUp,
+    /// Admission control refused the request (`ys-qos`).
+    QosShed { tenant: u32, reason: ShedReason },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -52,6 +55,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Raid(e) => write!(f, "raid: {e}"),
             ClusterError::Disk(e) => write!(f, "disk: {e}"),
             ClusterError::NoBladesUp => write!(f, "no controller blades available"),
+            ClusterError::QosShed { tenant, reason } => {
+                write!(f, "qos: tenant {tenant} request shed ({reason:?})")
+            }
         }
     }
 }
@@ -139,6 +145,8 @@ pub struct BladeCluster {
     /// Last sequential position per (client, volume), for readahead.
     seq_cursor: std::collections::HashMap<(usize, u32), u64>,
     failed_disks: Vec<bool>,
+    /// Multi-tenant admission control + SLO tracking (`ys-qos`).
+    qos: AdmissionController,
     pub stats: ClusterStats,
 }
 
@@ -177,6 +185,7 @@ impl BladeCluster {
             inflight_fills: std::collections::HashMap::new(),
             seq_cursor: std::collections::HashMap::new(),
             failed_disks: vec![false; total_disks],
+            qos: AdmissionController::new(cfg.qos.clone()),
             stats: ClusterStats::default(),
             cfg,
         }
@@ -299,7 +308,9 @@ impl BladeCluster {
         Ok(freed)
     }
 
-    /// Charge-back lines aggregated across every group.
+    /// Charge-back lines aggregated across every group, annotated with
+    /// each tenant's QoS class and admission-control counters (§3's
+    /// charge-back × the tenant's service contract).
     pub fn chargeback(&self) -> Vec<ys_virt::ChargebackLine> {
         use std::collections::BTreeMap;
         let mut per: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
@@ -311,8 +322,76 @@ impl BladeCluster {
             }
         }
         per.into_iter()
-            .map(|(tenant, (p, a))| ys_virt::ChargebackLine { tenant, provisioned_bytes: p, actual_bytes: a })
+            .map(|(tenant, (p, a))| {
+                let mut line = ys_virt::ChargebackLine::usage(tenant, p, a);
+                line.qos_class = self.qos.cfg().class_id(tenant);
+                if let Some(s) = self.qos.stats(tenant) {
+                    line.throttled_requests = s.throttled;
+                    line.shed_requests = s.shed;
+                }
+                line
+            })
             .collect()
+    }
+
+    /// The QoS admission controller (per-tenant stats, SLO report).
+    pub fn qos(&self) -> &AdmissionController {
+        &self.qos
+    }
+
+    /// Sample backpressure (cache dirty ratio, rebuild activity) and run
+    /// admission control for one tenant request of `bytes`.
+    fn qos_admit(&mut self, now: SimTime, tenant: u32, bytes: u64) -> Result<SimTime, ClusterError> {
+        if !self.qos.enabled() {
+            return Ok(now);
+        }
+        self.qos.set_pressure(Pressure {
+            dirty_ratio: self.cache.dirty_ratio(),
+            rebuild_active: self.failed_disks.iter().any(|&f| f),
+        });
+        match self.qos.admit(now, tenant, bytes) {
+            Decision::Admit { start } => Ok(start),
+            Decision::Shed { reason } => Err(ClusterError::QosShed { tenant, reason }),
+        }
+    }
+
+    /// [`BladeCluster::read`] on behalf of a QoS tenant: the request
+    /// passes admission control (which may delay its start or shed it)
+    /// and its completion feeds the tenant's SLO tracking. Latency is
+    /// measured from `now`, so queueing imposed by throttling counts.
+    pub fn read_as(
+        &mut self,
+        now: SimTime,
+        tenant: u32,
+        client: usize,
+        vol: VolumeId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Completion, ClusterError> {
+        let start = self.qos_admit(now, tenant, len)?;
+        let c = self.read(start, client, vol, offset, len)?;
+        self.qos.complete(tenant, now, c.done, len);
+        Ok(Completion { done: c.done, latency: c.done.since(now) })
+    }
+
+    /// [`BladeCluster::write`] on behalf of a QoS tenant (see
+    /// [`BladeCluster::read_as`]).
+    #[allow(clippy::too_many_arguments)] // the op surface: who, where, what, how protected
+    pub fn write_as(
+        &mut self,
+        now: SimTime,
+        tenant: u32,
+        client: usize,
+        vol: VolumeId,
+        offset: u64,
+        len: u64,
+        copies: usize,
+        retention: Retention,
+    ) -> Result<Completion, ClusterError> {
+        let start = self.qos_admit(now, tenant, len)?;
+        let c = self.write(start, client, vol, offset, len, copies, retention)?;
+        self.qos.complete(tenant, now, c.done, len);
+        Ok(Completion { done: c.done, latency: c.done.since(now) })
     }
 
     pub fn config(&self) -> &ClusterConfig {

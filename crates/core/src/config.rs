@@ -107,6 +107,10 @@ pub struct ClusterConfig {
     /// coherent pool). `false` is the ablation: every non-local page is
     /// fetched from disk, as in partitioned controllers.
     pub remote_cache_supply: bool,
+    /// Multi-tenant QoS policy (`ys-qos`): token buckets, admission
+    /// control, SLOs. Disabled by default — with the default config the
+    /// data path is bit-identical to pre-QoS builds.
+    pub qos: ys_qos::QosConfig,
 }
 
 impl Default for ClusterConfig {
@@ -128,6 +132,7 @@ impl Default for ClusterConfig {
             clients: 8,
             prefetch_pages: 0,
             remote_cache_supply: true,
+            qos: ys_qos::QosConfig::disabled(),
         }
     }
 }
@@ -175,6 +180,12 @@ impl ClusterConfig {
 
     pub fn with_prefetch(mut self, pages: usize) -> ClusterConfig {
         self.prefetch_pages = pages;
+        self
+    }
+
+    /// Enable a multi-tenant QoS policy (see `ys_qos::QosConfig`).
+    pub fn with_qos(mut self, qos: ys_qos::QosConfig) -> ClusterConfig {
+        self.qos = qos;
         self
     }
 

@@ -5,7 +5,8 @@
 //! * [`config`] — cluster configuration and the era cost model;
 //! * [`cluster`] — [`BladeCluster`]: the single-site data path — pooled
 //!   coherent cache, N-way write-back replication, DMSD virtualization,
-//!   RAID destage, load balancing, blade/disk failures (§2, §3, §6);
+//!   RAID destage, load balancing, blade/disk failures (§2, §3, §6),
+//!   plus per-tenant QoS admission via `ys-qos` (`read_as`/`write_as`);
 //! * [`fastpath`] — the Figure 1 high-speed striped stream engine (§2.3, §8);
 //! * [`rebuild`] — distributed, fault-tolerant RAID rebuild (§2.4, §6.3);
 //! * [`services`] — load-balanced PIT-copy/backup services (§2.4);
@@ -28,7 +29,10 @@ pub mod services;
 pub use admin::{AdminError, AdminOp, AdminOutcome, ManagementPlane};
 pub use cluster::{BladeCluster, ClusterError, ClusterStats, Completion, RaidGroup, ServedFrom};
 pub use config::{ClusterConfig, CostModel, EncryptionConfig, LoadBalance};
-pub use fastpath::{deliver_stream, deliver_stream_traced, FastPathConfig, StreamResult};
+pub use fastpath::{
+    deliver_stream, deliver_stream_traced, deliver_streams_fair, FastPathConfig, StreamDemand,
+    StreamResult, TenantStream,
+};
 pub use frontend::{BlockReply, BlockTarget, FileReply, FileServer, TargetStats};
 pub use legacy::{LegacyArray, LegacyConfig, LegacyMode, LegacyStats};
 pub use netstorage::{DisasterReport, GeoStats, NetError, NetStorage, NetStorageConfig, SiteReport, SystemReport};

@@ -99,6 +99,24 @@ pub fn collect_geo(reg: &mut MetricsRegistry, ns: &NetStorage) {
     *reg.counter(MetricKey::aggregate("geo", "wan_bytes")) = Counter::of(1, ns.wan_bytes_total());
 }
 
+/// Per-tenant QoS activity (`ys-qos`): admission outcomes, achieved
+/// latency/throughput, and SLO verdicts, scoped by tenant id.
+pub fn collect_qos(reg: &mut MetricsRegistry, qos: &ys_qos::AdmissionController) {
+    for slo in qos.slo_report() {
+        let t = slo.tenant;
+        let s = &slo.stats;
+        *reg.counter(MetricKey::scoped("qos", t, "admitted")) = Counter::of(s.admitted, s.bytes_admitted);
+        *reg.counter(MetricKey::scoped("qos", t, "shed")) = Counter::of(s.shed, s.bytes_shed);
+        *reg.counter(MetricKey::scoped("qos", t, "throttled")) = Counter::of(s.throttled, 0);
+        reg.gauge(MetricKey::scoped("qos", t, "p99_ms"), slo.p99.as_millis_f64());
+        reg.gauge(MetricKey::scoped("qos", t, "mb_per_sec"), slo.achieved_mb_per_sec);
+        reg.gauge(MetricKey::scoped("qos", t, "slo_met"), if slo.met() { 1.0 } else { 0.0 });
+        if let Some(h) = qos.latency(t) {
+            *reg.latency(MetricKey::scoped("qos", t, "latency")) = h.clone();
+        }
+    }
+}
+
 /// Surface ring-overflow loss as a first-class metric: a report that
 /// silently dropped trace events is a report that lies.
 pub fn record_trace_drops(reg: &mut MetricsRegistry, subsystem: &str, dropped: u64) {

@@ -30,6 +30,6 @@ pub mod report;
 pub mod scenarios;
 
 pub use chrome::chrome_trace_json;
-pub use collect::{collect_cache, collect_cluster, collect_geo, record_trace_drops};
+pub use collect::{collect_cache, collect_cluster, collect_geo, collect_qos, record_trace_drops};
 pub use registry::{Metric, MetricKey, MetricsRegistry};
 pub use report::{Checkpoint, RunReport, Table};

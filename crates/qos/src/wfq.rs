@@ -1,0 +1,252 @@
+//! Hierarchical weighted-fair queueing.
+//!
+//! Two levels, mirroring how a shared facility sells capacity: the outer
+//! level divides a port's bandwidth among *classes* (premium / standard /
+//! scavenger, weights from [`QosClass::base_weight`]), the inner level
+//! divides each class's share among its *tenants* (weights from
+//! [`TenantSpec::weight`]). Both levels use start-time fair queueing with
+//! integer fixed-point virtual-time tags — the same tag algebra as
+//! `ys_simnet::sched::FairPort`, fully deterministic.
+//!
+//! For a single bottleneck link the hierarchy collapses: serving flows by
+//! effective weight `class_weight × tenant_weight` yields the same
+//! long-run shares, which is what the fast path feeds to
+//! `ys_simnet::FairPort` via [`QosConfig::effective_weight`]. The explicit
+//! [`HierarchicalWfq`] structure exists for schedules where the class
+//! boundary matters transiently (a newly backlogged scavenger tenant must
+//! not dilute premium's share while its class is already at cap) and as
+//! the reference the collapsed form is tested against.
+
+use std::collections::BTreeMap;
+
+use crate::config::{QosClass, QosConfig, TenantSpec};
+
+const TAG_SCALE: u128 = 1 << 16;
+
+#[derive(Clone, Debug, Default)]
+struct Level {
+    vtime: u128,
+    finish: BTreeMap<u32, u128>,
+}
+
+impl Level {
+    /// Assign start/finish tags for a message of `cost ÷ weight`.
+    fn tag(&mut self, key: u32, bytes: u64, weight: u64) -> u128 {
+        let last = self.finish.get(&key).copied().unwrap_or(0);
+        let start = self.vtime.max(last);
+        let f = start + u128::from(bytes.max(1)) * TAG_SCALE / u128::from(weight.max(1));
+        self.finish.insert(key, f);
+        f
+    }
+
+    fn advance(&mut self, to: u128) {
+        self.vtime = self.vtime.max(to);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Item {
+    seq: u64,
+    tenant: u32,
+    class: QosClass,
+    bytes: u64,
+    tenant_tag: u128,
+}
+
+/// Frozen class-level tags for the current head of one class.
+#[derive(Clone, Copy, Debug)]
+struct HeadTag {
+    start: u128,
+    finish: u128,
+    head_seq: u64,
+}
+
+/// A two-level (class, tenant) weighted-fair queue over opaque messages.
+#[derive(Clone, Debug)]
+pub struct HierarchicalWfq {
+    class_level: Level,
+    heads: BTreeMap<u8, HeadTag>,
+    tenant_levels: BTreeMap<u8, Level>,
+    queue: Vec<Item>,
+    next_seq: u64,
+}
+
+impl HierarchicalWfq {
+    pub fn new() -> HierarchicalWfq {
+        HierarchicalWfq {
+            class_level: Level::default(),
+            heads: BTreeMap::new(),
+            tenant_levels: BTreeMap::new(),
+            queue: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Queue `bytes` for `tenant` with the given class and in-class weight.
+    pub fn enqueue(&mut self, spec: &TenantSpec, bytes: u64) {
+        self.enqueue_raw(spec.id, spec.class, spec.weight, bytes);
+    }
+
+    pub fn enqueue_raw(&mut self, tenant: u32, class: QosClass, weight: u64, bytes: u64) {
+        let tenant_tag =
+            self.tenant_levels.entry(class.id()).or_default().tag(tenant, bytes, weight);
+        self.queue.push(Item { seq: self.next_seq, tenant, class, bytes, tenant_tag });
+        self.next_seq += 1;
+    }
+
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The next item of `class` in tenant-fair order, if any.
+    fn head_of(&self, class: QosClass) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.class == class)
+            .min_by_key(|(_, it)| (it.tenant_tag, it.seq))
+            .map(|(i, _)| i)
+    }
+
+    /// Remove and return the next message in hierarchical fair order.
+    ///
+    /// Tenant-level tags are fixed at enqueue. The class level runs
+    /// start-time fair queueing over each class's *head* message (cost =
+    /// head bytes ÷ class weight): a head's start tag is frozen when it
+    /// becomes head — `max(virtual time, class's last finish)` — so an
+    /// unserved class's tag cannot be overtaken by the virtual clock and
+    /// no class starves, while backlogged classes share the port by
+    /// [`QosClass::base_weight`] regardless of queue depth.
+    pub fn pop(&mut self) -> Option<(u32, u64)> {
+        let mut best: Option<(u128, u8, usize)> = None;
+        for class in [QosClass::Premium, QosClass::Standard, QosClass::Scavenger] {
+            let Some(i) = self.head_of(class) else { continue };
+            let it = &self.queue[i];
+            let key = class.id();
+            let stale =
+                self.heads.get(&key).is_none_or(|h| h.head_seq != it.seq);
+            if stale {
+                let last = self.class_level.finish.get(&u32::from(key)).copied().unwrap_or(0);
+                let start = self.class_level.vtime.max(last);
+                let finish = start
+                    + u128::from(it.bytes.max(1)) * TAG_SCALE / u128::from(class.base_weight());
+                self.heads.insert(key, HeadTag { start, finish, head_seq: it.seq });
+            }
+            let h = self.heads[&key];
+            if best.is_none_or(|(bf, bid, _)| (h.finish, key) < (bf, bid)) {
+                best = Some((h.finish, key, i));
+            }
+        }
+        let (_, class_id, i) = best?;
+        let it = self.queue.swap_remove(i);
+        let served = self.heads.remove(&class_id);
+        if let Some(h) = served {
+            self.class_level.finish.insert(u32::from(class_id), h.finish);
+            self.class_level.advance(h.start);
+        }
+        if let Some(level) = self.tenant_levels.get_mut(&class_id) {
+            level.advance(it.tenant_tag);
+        }
+        Some((it.tenant, it.bytes))
+    }
+
+    /// Drain the whole queue into service order.
+    pub fn drain_order(&mut self) -> Vec<(u32, u64)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(x) = self.pop() {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl Default for HierarchicalWfq {
+    fn default() -> HierarchicalWfq {
+        HierarchicalWfq::new()
+    }
+}
+
+/// Per-tenant collapsed weights for a flat scheduler (`FairPort`),
+/// derived from the config's class × tenant hierarchy.
+pub fn collapsed_weights(cfg: &QosConfig) -> Vec<(u32, u64)> {
+    cfg.tenants.iter().map(|t| (t.id, t.effective_weight())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(order: &[(u32, u64)], head: usize, tenant: u32) -> u64 {
+        order.iter().take(head).filter(|(t, _)| *t == tenant).map(|(_, b)| b).sum()
+    }
+
+    #[test]
+    fn classes_split_by_base_weight() {
+        // Premium (8) vs scavenger (1), equal messages: over any prefix the
+        // premium tenant should have ~8× the bytes served.
+        let mut q = HierarchicalWfq::new();
+        for _ in 0..90 {
+            q.enqueue_raw(1, QosClass::Premium, 1, 4096);
+            q.enqueue_raw(2, QosClass::Scavenger, 1, 4096);
+        }
+        let order = q.drain_order();
+        let p = share(&order, 90, 1);
+        let s = share(&order, 90, 2).max(1);
+        assert!(p / s >= 6, "premium:scavenger byte share {p}:{s}");
+    }
+
+    #[test]
+    fn tenants_split_within_a_class() {
+        let mut q = HierarchicalWfq::new();
+        for _ in 0..80 {
+            q.enqueue_raw(10, QosClass::Standard, 3, 8192);
+            q.enqueue_raw(11, QosClass::Standard, 1, 8192);
+        }
+        let order = q.drain_order();
+        let a = share(&order, 80, 10);
+        let b = share(&order, 80, 11).max(1);
+        assert!(a / b >= 2, "in-class weighted share {a}:{b}");
+        assert!(b > 0, "low-weight tenant must not starve");
+    }
+
+    #[test]
+    fn collapsed_weights_match_hierarchy_shares() {
+        // Long-run service shares of the hierarchy equal the collapsed
+        // class×tenant weights for continuously backlogged flows.
+        let cfg = QosConfig::new()
+            .with_tenant(TenantSpec::new(1, "p", QosClass::Premium).weight(2)) // eff 16
+            .with_tenant(TenantSpec::new(2, "s", QosClass::Scavenger).weight(2)); // eff 2
+        let w = collapsed_weights(&cfg);
+        assert_eq!(w, vec![(1, 16), (2, 2)]);
+        let mut q = HierarchicalWfq::new();
+        for _ in 0..400 {
+            for t in &cfg.tenants {
+                q.enqueue(t, 4096);
+            }
+        }
+        let order = q.drain_order();
+        let p = share(&order, 400, 1) as f64;
+        let s = share(&order, 400, 2).max(1) as f64;
+        let ratio = p / s;
+        assert!((6.0..=10.0).contains(&ratio), "expected ~8:1 share, got {ratio:.2}");
+    }
+
+    #[test]
+    fn pop_is_deterministic_and_complete() {
+        let build = || {
+            let mut q = HierarchicalWfq::new();
+            for i in 0..37u32 {
+                let class = match i % 3 {
+                    0 => QosClass::Premium,
+                    1 => QosClass::Standard,
+                    _ => QosClass::Scavenger,
+                };
+                q.enqueue_raw(i % 5, class, u64::from(i % 4 + 1), 1024 + u64::from(i) * 7);
+            }
+            q.drain_order()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert_eq!(a.len(), 37);
+    }
+}

@@ -70,6 +70,38 @@ impl FaultPlan {
         self.events.len()
     }
 
+    /// Combine two plans into one schedule. Events keep their times; ties
+    /// replay `self`'s events before `other`'s (stable [`sorted`]
+    /// ordering), so composing a base scenario with an overlay is
+    /// deterministic.
+    ///
+    /// [`sorted`]: FaultPlan::sorted
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// Check the plan is replayable: in time order, every `Repair` of a
+    /// target must be preceded by a `Fail` of the same target that has not
+    /// already been repaired. Returns the offending events (empty = valid).
+    pub fn validate(&self) -> Vec<FaultEvent> {
+        let mut down = std::collections::HashSet::new();
+        let mut bad = Vec::new();
+        for ev in self.sorted() {
+            match ev.kind {
+                FaultKind::Fail => {
+                    down.insert(ev.target);
+                }
+                FaultKind::Repair => {
+                    if !down.remove(&ev.target) {
+                        bad.push(ev);
+                    }
+                }
+            }
+        }
+        bad
+    }
+
     /// Number of distinct blades this plan ever fails.
     pub fn failed_blades(&self) -> usize {
         let mut set = std::collections::HashSet::new();
@@ -169,6 +201,56 @@ mod tests {
         assert_eq!(a.up_blades().collect::<Vec<_>>(), vec![0, 1, 2]);
         a.apply(&FaultEvent { at: SimTime(2), target: FaultTarget::Blade(3), kind: FaultKind::Repair });
         assert!(a.blade_up(3));
+    }
+
+    #[test]
+    fn merge_interleaves_and_keeps_tie_order() {
+        let base = FaultPlan::new()
+            .fail(SimTime(100), FaultTarget::Disk(0))
+            .repair(SimTime(300), FaultTarget::Disk(0));
+        let overlay = FaultPlan::new()
+            .fail(SimTime(100), FaultTarget::Blade(1))
+            .fail(SimTime(200), FaultTarget::Disk(5));
+        let merged = base.merge(overlay);
+        assert_eq!(merged.len(), 4);
+        let evs = merged.sorted();
+        // Tie at t=100: base's event replays first (stable sort).
+        assert_eq!(evs[0].target, FaultTarget::Disk(0));
+        assert_eq!(evs[1].target, FaultTarget::Blade(1));
+        assert_eq!(evs[2].target, FaultTarget::Disk(5));
+        assert_eq!(evs[3].kind, FaultKind::Repair);
+        assert!(merged.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_repair_without_prior_fail() {
+        // Repair of a target never failed.
+        let p = FaultPlan::new().repair(SimTime(10), FaultTarget::Disk(3));
+        let bad = p.validate();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].target, FaultTarget::Disk(3));
+
+        // Double repair: the second has no outstanding Fail.
+        let p = FaultPlan::new()
+            .fail(SimTime(1), FaultTarget::Blade(0))
+            .repair(SimTime(2), FaultTarget::Blade(0))
+            .repair(SimTime(3), FaultTarget::Blade(0));
+        assert_eq!(p.validate().len(), 1);
+
+        // Repair scheduled before the fail (time order matters, not
+        // build order).
+        let p = FaultPlan::new()
+            .fail(SimTime(50), FaultTarget::Site(1))
+            .repair(SimTime(20), FaultTarget::Site(1));
+        assert_eq!(p.validate().len(), 1);
+
+        // A well-formed fail→repair→fail→repair cycle is valid.
+        let p = FaultPlan::new()
+            .fail(SimTime(1), FaultTarget::Disk(7))
+            .repair(SimTime(2), FaultTarget::Disk(7))
+            .fail(SimTime(3), FaultTarget::Disk(7))
+            .repair(SimTime(4), FaultTarget::Disk(7));
+        assert!(p.validate().is_empty());
     }
 
     #[test]

@@ -55,11 +55,35 @@ pub type CopyRun = (u64, u64, u64);
 
 /// Per-tenant charge-back line (§3: "charge back can reflect actual
 /// storage usage").
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The QoS fields are plain data filled in by layers that know the
+/// tenant's service contract (`ys-core` merges in `ys-qos` accounting);
+/// the volume manager itself reports them as zero/unclassified.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChargebackLine {
     pub tenant: u32,
     pub provisioned_bytes: u64,
     pub actual_bytes: u64,
+    /// QoS class id (`ys_qos::QosClass::id`); 0 = unclassified.
+    pub qos_class: u8,
+    /// Requests admitted with a delayed start by admission control.
+    pub throttled_requests: u64,
+    /// Requests refused by admission control.
+    pub shed_requests: u64,
+}
+
+impl ChargebackLine {
+    /// A line carrying storage usage only (no QoS accounting).
+    pub fn usage(tenant: u32, provisioned_bytes: u64, actual_bytes: u64) -> ChargebackLine {
+        ChargebackLine {
+            tenant,
+            provisioned_bytes,
+            actual_bytes,
+            qos_class: 0,
+            throttled_requests: 0,
+            shed_requests: 0,
+        }
+    }
 }
 
 /// The pool + volume catalog.
@@ -384,7 +408,7 @@ impl VolumeManager {
             }
         }
         per.into_iter()
-            .map(|(tenant, (prov, act))| ChargebackLine { tenant, provisioned_bytes: prov, actual_bytes: act })
+            .map(|(tenant, (prov, act))| ChargebackLine::usage(tenant, prov, act))
             .collect()
     }
 
@@ -533,7 +557,8 @@ mod tests {
         let lines = m.chargeback();
         let eb = 1u64 << 20;
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], ChargebackLine { tenant: 1, provisioned_bytes: 100 * eb, actual_bytes: 30 * eb });
+        assert_eq!(lines[0], ChargebackLine::usage(1, 100 * eb, 30 * eb));
+        assert_eq!(lines[0].qos_class, 0, "volume manager reports no QoS class");
         assert_eq!(lines[1].actual_bytes, 0, "tenant 2 pays nothing");
     }
 

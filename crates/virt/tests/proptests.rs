@@ -61,6 +61,54 @@ proptest! {
         }
     }
 
+    /// Interleaved random map/unmap against a shadow model: after every
+    /// operation the map stays internally consistent (`check()`), and
+    /// `translate` agrees extent-for-extent with a naive per-extent map —
+    /// mapped addresses round-trip to the exact physical extent they were
+    /// given, unmapped addresses stay `None`.
+    #[test]
+    fn extent_map_random_map_unmap_matches_shadow(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..240, 1u64..30), 1..60),
+    ) {
+        let mut m = ExtentMap::new();
+        let mut shadow = std::collections::HashMap::new();
+        let mut next_phys = 0u64;
+        for (is_unmap, start, len) in ops {
+            if is_unmap {
+                let released = m.unmap(start, len);
+                // Every released physical run was live in the shadow.
+                let mut freed = 0u64;
+                for (p, l) in released {
+                    freed += l;
+                    for i in 0..l {
+                        prop_assert!(shadow.values().any(|&pv| pv == p + i));
+                    }
+                }
+                let live_before = shadow.len() as u64;
+                shadow.retain(|&v, _| !(start..start + len).contains(&v));
+                prop_assert_eq!(live_before - shadow.len() as u64, freed);
+            } else {
+                // Map only the holes, like real callers do.
+                let holes: Vec<(u64, u64)> = m.segments(start, len).iter()
+                    .filter(|s| !s.is_mapped())
+                    .map(|s| match *s { ys_virt::Segment::Hole { vstart, len } => (vstart, len), _ => unreachable!() })
+                    .collect();
+                for (hs, hl) in holes {
+                    m.map(hs, next_phys, hl);
+                    for i in 0..hl {
+                        shadow.insert(hs + i, next_phys + i);
+                    }
+                    next_phys += hl;
+                }
+            }
+            m.check().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(m.mapped_extents(), shadow.len() as u64);
+            for v in 0..300u64 {
+                prop_assert_eq!(m.translate(v), shadow.get(&v).copied(), "extent {}", v);
+            }
+        }
+    }
+
     /// Pool invariant: used + free == total after any alloc/release mix,
     /// and the manager's physical usage equals the sum of all mappings.
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! * `lint` — deny `unwrap()` / `expect(` in the non-test library code of
 //!   the crates whose failures must surface as typed errors (`cache`,
-//!   `virt`, `simcore`). A panic inside those layers would take out a whole
+//!   `virt`, `simcore`, `qos`). A panic inside those layers would take out a whole
 //!   controller blade instead of failing one request. Lines carrying an
 //!   inline `// lint: allow` marker (for invariants that are provably
 //!   infallible) or matched by `crates/xtask/lint-allow.txt` are exempt.
@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 /// Crates whose library code must not panic on fallible paths.
-const LINTED_CRATES: &[&str] = &["crates/cache/src", "crates/virt/src", "crates/simcore/src"];
+const LINTED_CRATES: &[&str] =
+    &["crates/cache/src", "crates/virt/src", "crates/simcore/src", "crates/qos/src"];
 
 /// Patterns denied outside test code.
 const DENIED: &[&str] = &[".unwrap()", ".expect("];

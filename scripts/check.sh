@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
 # Repo hygiene gate: custom panic-lint plus clippy, both deny-by-default.
+# The panic-lint covers cache, virt, simcore, and qos library code.
 # Run from anywhere inside the repo; CI and pre-commit both call this.
 set -eu
 
