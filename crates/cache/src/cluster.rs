@@ -127,6 +127,11 @@ pub enum CacheError {
     EvictionStall(usize),
     /// Page isn't in the expected state for the operation.
     BadState,
+    /// The page's dirty owner and every replica failed before destage: the
+    /// acknowledged version is gone and disk holds stale data. Reads refuse
+    /// to serve until the loss is acknowledged or the page rewritten —
+    /// surfacing the loss explicitly instead of a silent stale miss.
+    DataLost(PageKey),
 }
 
 impl std::fmt::Display for CacheError {
@@ -135,6 +140,7 @@ impl std::fmt::Display for CacheError {
             CacheError::BladeDown(b) => write!(f, "blade {b} is down"),
             CacheError::EvictionStall(b) => write!(f, "blade {b} cache saturated with dirty data"),
             CacheError::BadState => write!(f, "page in unexpected coherence state"),
+            CacheError::DataLost(k) => write!(f, "page {k:?}: acknowledged write lost (owner and all replicas failed)"),
         }
     }
 }
@@ -160,6 +166,11 @@ impl std::error::Error for CacheError {}
 pub struct CacheCluster {
     pub(crate) blades: Vec<BladeSlot>,
     pub(crate) directory: Directory,
+    /// Tombstones for dirty pages whose owner and every replica failed:
+    /// page key → the version that was lost. Persist until the loss is
+    /// acknowledged or the page is rewritten, so a total loss can never
+    /// degrade into a silent miss that refetches stale disk data.
+    pub(crate) lost: std::collections::BTreeMap<PageKey, u64>,
     stats: CacheStats,
     trace: SpanRecorder,
 }
@@ -177,6 +188,7 @@ impl CacheCluster {
                 })
                 .collect(),
             directory: Directory::new(blade_count),
+            lost: std::collections::BTreeMap::new(),
             stats: CacheStats {
                 per_blade: vec![BladeCacheStats::default(); blade_count],
                 ..CacheStats::default()
@@ -279,6 +291,9 @@ impl CacheCluster {
     /// simulator can charge the disk time in between.
     pub fn read(&mut self, blade: usize, key: PageKey) -> Result<ReadOutcome, CacheError> {
         self.ensure_up(blade)?;
+        if self.lost.contains_key(&key) {
+            return Err(CacheError::DataLost(key));
+        }
         if let Some(meta) = self.blades[blade].pages.get(&key) {
             match meta.residency {
                 Residency::Cached { .. } => {
@@ -325,6 +340,10 @@ impl CacheCluster {
     /// remote supply).
     pub fn fill(&mut self, blade: usize, key: PageKey, retention: Retention) -> Result<Vec<PageKey>, CacheError> {
         self.ensure_up(blade)?;
+        if self.lost.contains_key(&key) {
+            // A disk fetch can only supply the stale pre-loss version.
+            return Err(CacheError::DataLost(key));
+        }
         self.install_shared(blade, key, retention)
     }
 
@@ -365,6 +384,9 @@ impl CacheCluster {
     ) -> Result<WriteOutcome, CacheError> {
         assert!(n_way >= 1);
         self.ensure_up(blade)?;
+        // A fresh write redefines the page's contents: the lost version no
+        // longer matters, so the tombstone clears.
+        self.lost.remove(&key);
 
         // Reserve local space FIRST: if the cache is saturated with dirty
         // data we must fail before mutating any remote state, or the
@@ -474,6 +496,9 @@ impl CacheCluster {
     /// Drop every copy and replica of `key` cluster-wide (e.g. after a
     /// volume rollback invalidated the data under it).
     pub fn invalidate_page(&mut self, key: PageKey) {
+        // Rollback administratively replaces the data under the page; a
+        // pending loss tombstone is moot.
+        self.lost.remove(&key);
         let holders: Vec<usize> = match self.directory.get(&key) {
             Some(e) => {
                 let mut h = e.holders();
@@ -568,9 +593,13 @@ impl CacheCluster {
                     } else {
                         self.trace.instant("cache", "lost", blade as u32, key.page, key.volume as u64);
                         report.lost.push(key);
+                        let version = e.version;
                         if !e.is_cached_anywhere() {
                             self.directory.remove(&key);
                         }
+                        // Tombstone the loss: reads must surface it
+                        // explicitly rather than miss to stale disk data.
+                        self.lost.insert(key, version);
                     }
                 }
                 Residency::Cached { dirty: false, .. } | Residency::Replica => {
@@ -589,6 +618,26 @@ impl CacheCluster {
     /// Bring a failed blade back, empty.
     pub fn repair_blade(&mut self, blade: usize) {
         self.blades[blade].up = true;
+    }
+
+    /// Outstanding data-loss tombstones: `(page, lost version)` sorted by
+    /// key. Non-empty means an acknowledged write is gone and nothing has
+    /// accepted responsibility for it yet.
+    pub fn lost_pages(&self) -> Vec<(PageKey, u64)> {
+        self.lost.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// True when `key` carries an unacknowledged loss tombstone.
+    pub fn is_lost(&self, key: PageKey) -> bool {
+        self.lost.contains_key(&key)
+    }
+
+    /// Explicitly accept a data loss (operator restored from backup,
+    /// application re-created the data, or the loss was recorded upstream).
+    /// Clears the tombstone so the page becomes cacheable again; returns
+    /// the lost version if one was outstanding.
+    pub fn acknowledge_loss(&mut self, key: PageKey) -> Option<u64> {
+        self.lost.remove(&key)
     }
 
     /// Configured page capacity of one blade.
@@ -738,10 +787,36 @@ mod tests {
     #[test]
     fn blade_failure_without_replicas_loses_dirty_data() {
         let mut c = CacheCluster::new(4, 16);
-        c.write(0, key(7), 1, Retention::Normal).unwrap();
+        let w = c.write(0, key(7), 1, Retention::Normal).unwrap();
         let report = c.fail_blade(0);
         assert_eq!(report.lost, vec![key(7)]);
         assert!(report.promoted.is_empty());
+        // The loss is explicit, not a silent miss serving stale disk data.
+        assert_eq!(c.read(1, key(7)), Err(CacheError::DataLost(key(7))));
+        assert_eq!(c.fill(1, key(7), Retention::Normal), Err(CacheError::DataLost(key(7))));
+        let violations = c.audit_invariants();
+        assert!(
+            violations.iter().any(|v| v.invariant == crate::invariants::Invariant::DataLoss
+                && v.key == Some(key(7))),
+            "loss must surface in the invariant audit: {violations:?}"
+        );
+        // Acknowledging the loss restores normal (miss-to-disk) service.
+        assert_eq!(c.acknowledge_loss(key(7)), Some(w.version));
+        assert_eq!(c.read(1, key(7)).unwrap(), ReadOutcome::Miss);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rewrite_clears_a_loss_tombstone() {
+        let mut c = CacheCluster::new(4, 16);
+        c.write(0, key(3), 1, Retention::Normal).unwrap();
+        c.fail_blade(0);
+        assert!(c.is_lost(key(3)));
+        // The application redefines the page: the old version is moot.
+        c.write(1, key(3), 2, Retention::Normal).unwrap();
+        assert!(!c.is_lost(key(3)));
+        assert_eq!(c.read(1, key(3)).unwrap(), ReadOutcome::LocalHit);
+        c.check_invariants().unwrap();
     }
 
     #[test]
@@ -755,10 +830,16 @@ mod tests {
         let r2 = c.fail_blade(owner1);
         assert_eq!(r2.promoted.len(), 1, "second replica takes over");
         assert!(r2.lost.is_empty());
-        // A third failure exceeds N−1 and loses the page.
+        // A third failure exceeds N−1 and loses the page — which the audit
+        // must report until the loss is acknowledged.
         let owner2 = out.replicas[1];
         let r3 = c.fail_blade(owner2);
         assert_eq!(r3.lost.len(), 1);
+        assert!(c
+            .audit_invariants()
+            .iter()
+            .any(|v| v.invariant == crate::invariants::Invariant::DataLoss));
+        c.acknowledge_loss(key(11));
         c.check_invariants().unwrap();
     }
 

@@ -35,6 +35,12 @@ pub enum Invariant {
     /// A failed blade holds nothing, and the directory never points at a
     /// down blade.
     DownBladeConsistency,
+    /// An acknowledged (dirty, replicated-as-requested) write was lost —
+    /// the owner and every replica failed before destage — and nobody has
+    /// acknowledged the loss. Unlike the other rules this one reports an
+    /// *unhandled event*, not corrupted bookkeeping: the cluster records it
+    /// so the loss can never degrade into a silent stale read.
+    DataLoss,
 }
 
 impl fmt::Display for Invariant {
@@ -48,6 +54,7 @@ impl fmt::Display for Invariant {
             Invariant::LruAgreement => "lru-agreement",
             Invariant::Capacity => "capacity",
             Invariant::DownBladeConsistency => "down-blade-consistency",
+            Invariant::DataLoss => "data-loss",
         };
         f.write_str(name)
     }
@@ -93,7 +100,22 @@ pub fn audit(cluster: &CacheCluster) -> Vec<Violation> {
     audit_directory(cluster, &mut out);
     audit_residency(cluster, &mut out);
     audit_blades(cluster, &mut out);
+    audit_losses(cluster, &mut out);
     out
+}
+
+/// Unacknowledged data losses: every tombstone is a broken durability
+/// promise until something accepts it (see
+/// [`CacheCluster::acknowledge_loss`]).
+fn audit_losses(cluster: &CacheCluster, out: &mut Vec<Violation>) {
+    for (key, version) in cluster.lost_pages() {
+        out.push(Violation {
+            invariant: Invariant::DataLoss,
+            key: Some(key),
+            blade: None,
+            detail: format!("dirty v{version} lost with its owner and every replica; loss unacknowledged"),
+        });
+    }
 }
 
 /// Directory-side rules: each entry's holder sets against blade contents.

@@ -51,7 +51,13 @@ proptest! {
                     let _ = c.destage(key);
                 }
                 Op::Fail { blade } => {
-                    let _ = c.fail_blade(blade as usize % blades);
+                    // Losses are legal for under-replicated writes; the
+                    // audit flags them until acknowledged, so acknowledge
+                    // here — this property is about protocol bookkeeping,
+                    // not the durability budget.
+                    for key in c.fail_blade(blade as usize % blades).lost {
+                        c.acknowledge_loss(key);
+                    }
                 }
                 Op::Repair { blade } => {
                     c.repair_blade(blade as usize % blades);

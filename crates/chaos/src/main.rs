@@ -1,0 +1,143 @@
+//! `ys-chaos` — run a deterministic fault campaign from a seed.
+//!
+//! Exit codes: `0` the campaign proved its promises (or, with `--fatal`,
+//! found and shrank the expected loss), `1` the proof failed, `2` usage.
+
+use std::process::ExitCode;
+use ys_chaos::{minimize, run_with_schedule, CampaignConfig, CampaignSchedule};
+
+const USAGE: &str = "\
+ys-chaos: deterministic fault-campaign harness
+
+USAGE:
+    ys-chaos [--seed N] [--steps N] [--fatal] [--keep i,j,k] [--quiet]
+
+OPTIONS:
+    --seed N      Campaign seed (default 4). Schedule, workload, and
+                  injection instants are all derived from it.
+    --steps N     Workload steps before convergence (default 64).
+    --fatal       Append a deliberate N-failure episode. The campaign is
+                  then EXPECTED to surface an explicit acked-write loss;
+                  exit 0 means it did (and the schedule was shrunk).
+    --keep i,j,k  Replay only the schedule entries with these original
+                  indices (what a shrunk counterexample prints).
+    --quiet       Only the verdict line and, on failure, the reproducer.
+    -h, --help    This help.
+
+A failing campaign prints a minimal reproducing schedule and the exact
+command line that replays it.";
+
+struct Args {
+    seed: u64,
+    steps: u64,
+    fatal: bool,
+    keep: Option<Vec<usize>>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { seed: 4, steps: 64, fatal: false, keep: None, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                args.steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
+            }
+            "--fatal" => args.fatal = true,
+            "--keep" => {
+                let v = it.next().ok_or("--keep needs a list like 0,3,7")?;
+                let mut keep = Vec::new();
+                for part in v.split(',').filter(|p| !p.is_empty()) {
+                    keep.push(part.parse().map_err(|_| format!("bad --keep index {part}"))?);
+                }
+                args.keep = Some(keep);
+            }
+            "--quiet" => args.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay_command(args: &Args, schedule: &CampaignSchedule) -> String {
+    let kept: Vec<String> = schedule.entries.iter().map(|e| e.index.to_string()).collect();
+    let mut cmd = format!("ys-chaos --seed {} --steps {}", schedule.seed, args.steps);
+    if args.fatal {
+        cmd.push_str(" --fatal");
+    }
+    format!("{cmd} --keep {}", kept.join(","))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("ys-chaos: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = CampaignConfig {
+        seed: args.seed,
+        steps: args.steps,
+        fatal: args.fatal,
+        ..CampaignConfig::default()
+    };
+    let full = CampaignSchedule::generate(&cfg);
+    let schedule = match &args.keep {
+        Some(keep) => full.keep(keep),
+        None => full,
+    };
+    if !args.quiet {
+        println!("schedule ({} entries):", schedule.entries.len());
+        print!("{}", schedule.render());
+    }
+    let report = run_with_schedule(&cfg, schedule);
+    if !args.quiet {
+        print!("{}", report.render());
+    }
+
+    let failed = !report.passed();
+    if failed {
+        let (minimal, runs) = minimize(&cfg, &report.schedule);
+        println!(
+            "counterexample: {} of {} injections suffice ({} shrink runs)",
+            minimal.entries.len(),
+            report.schedule.entries.len(),
+            runs
+        );
+        for e in &minimal.entries {
+            println!("  {e}");
+        }
+        println!("replay: {}", replay_command(&args, &minimal));
+    }
+
+    let ok = if args.fatal {
+        // Fatal mode: the harness passes by FINDING the loss.
+        report.violations.iter().any(|v| v.rule == "acked-write-lost")
+            && report.violations.iter().all(|v| v.rule != "loss-within-budget")
+    } else {
+        !failed
+    };
+    println!(
+        "ys-chaos: seed {} {}",
+        args.seed,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

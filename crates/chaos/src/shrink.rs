@@ -1,0 +1,105 @@
+//! Schedule shrinking: ddmin over the injection list.
+//!
+//! A failing campaign usually fails because of two or three of its dozen
+//! injections. Since a campaign is a pure function of `(config, schedule)`,
+//! we can bisect the schedule — run subsets, keep whichever still fails —
+//! down to a locally minimal reproducer, and print it as
+//! `ys-chaos --seed S --keep i,j,k` (entries keep their original indices
+//! through subsetting, see [`CampaignSchedule::keep`]).
+
+use crate::campaign::{run_with_schedule, CampaignConfig};
+use crate::schedule::{CampaignSchedule, ScheduledFault};
+
+/// Does this entry subset still produce a violation?
+fn fails(cfg: &CampaignConfig, seed: u64, entries: &[ScheduledFault]) -> bool {
+    let s = CampaignSchedule { seed, entries: entries.to_vec() };
+    !run_with_schedule(cfg, s).violations.is_empty()
+}
+
+/// Shrink a failing schedule to a locally minimal one that still fails
+/// (classic ddmin over complements). If the input doesn't fail, it is
+/// returned unchanged. Every run is deterministic, so the result is too.
+///
+/// Returns the minimal schedule and the number of campaign runs spent.
+pub fn minimize(cfg: &CampaignConfig, schedule: &CampaignSchedule) -> (CampaignSchedule, u64) {
+    let mut runs = 1u64;
+    if !fails(cfg, schedule.seed, &schedule.entries) {
+        return (schedule.clone(), runs);
+    }
+    let mut current = schedule.entries.clone();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut complement = current[..start].to_vec();
+            complement.extend_from_slice(&current[end..]);
+            runs += 1;
+            if !complement.is_empty() && fails(cfg, schedule.seed, &complement) {
+                // This chunk wasn't needed: drop it and re-coarsen.
+                current = complement;
+                n = (n.saturating_sub(1)).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break; // single-entry granularity and nothing removable
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    (CampaignSchedule { seed: schedule.seed, entries: current }, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_schedules_come_back_unchanged() {
+        let cfg = CampaignConfig { seed: 4, steps: 48, ..CampaignConfig::default() };
+        let s = CampaignSchedule::generate(&cfg);
+        let (m, runs) = minimize(&cfg, &s);
+        assert_eq!(m, s);
+        assert_eq!(runs, 1, "a passing schedule costs exactly the probe run");
+    }
+
+    #[test]
+    fn fatal_schedules_shrink_to_a_failing_subset() {
+        let cfg = CampaignConfig { seed: 9, steps: 48, fatal: true, ..CampaignConfig::default() };
+        let s = CampaignSchedule::generate(&cfg);
+        let r = run_with_schedule(&cfg, s.clone());
+        assert!(!r.passed(), "fatal campaign must fail before shrinking");
+        let (m, _) = minimize(&cfg, &s);
+        assert!(!m.entries.is_empty());
+        assert!(m.entries.len() <= s.entries.len());
+        // Every surviving entry came from the original schedule, with its
+        // original index intact (that's what makes --keep replay work).
+        for e in &m.entries {
+            assert!(s.entries.contains(e), "shrunk entry {e} not in original");
+        }
+        // The shrunk schedule still reproduces a violation.
+        assert!(!run_with_schedule(&cfg, m.clone()).passed());
+        // And it is 1-minimal: removing any single entry makes it pass.
+        if m.entries.len() > 1 {
+            for skip in 0..m.entries.len() {
+                let mut fewer = m.entries.clone();
+                fewer.remove(skip);
+                assert!(
+                    run_with_schedule(
+                        &cfg,
+                        CampaignSchedule { seed: m.seed, entries: fewer }
+                    )
+                    .passed(),
+                    "entry {} is removable — not minimal",
+                    m.entries[skip]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: campaign-vs-shadow equivalence over random seeds.
+//!
+//! * Any within-budget schedule (≤ N−1 un-stabilized crashes per site,
+//!   which [`CampaignSchedule::generate`] guarantees) produces ZERO
+//!   oracle violations — the paper's §6.1 survivability envelope, proved
+//!   end-to-end rather than per-subsystem.
+//! * Any fatal schedule (a deliberate N-failure appended) produces an
+//!   explicit `acked-write-lost` violation — never a silent loss, and
+//!   never a `loss-within-budget` bug — and the shrinker reduces it to a
+//!   subset of the original schedule that still fails.
+
+use proptest::prelude::*;
+use ys_chaos::{minimize, run_campaign, run_with_schedule, CampaignConfig, CampaignSchedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ≤ N−1 failures ⇒ zero violations, every acked cell readable.
+    #[test]
+    fn within_budget_campaigns_never_violate(seed in 0u64..10_000) {
+        let cfg = CampaignConfig { seed, steps: 48, ..CampaignConfig::default() };
+        let r = run_campaign(&cfg);
+        prop_assert!(
+            r.passed(),
+            "seed {} broke a promise:\n{}",
+            seed,
+            r.render()
+        );
+        prop_assert!(r.acked_verified > 0, "seed {} verified nothing", seed);
+    }
+
+    /// N failures ⇒ the oracle reports the loss explicitly, and the
+    /// shrunk schedule is a still-failing subset of the original.
+    #[test]
+    fn fatal_campaigns_surface_and_shrink(seed in 0u64..10_000) {
+        let cfg = CampaignConfig { seed, steps: 48, fatal: true, ..CampaignConfig::default() };
+        let schedule = CampaignSchedule::generate(&cfg);
+        let r = run_with_schedule(&cfg, schedule.clone());
+        prop_assert!(
+            r.violations.iter().any(|v| v.rule == "acked-write-lost"),
+            "seed {}: deliberate N-failure not surfaced:\n{}",
+            seed,
+            r.render()
+        );
+        prop_assert!(
+            r.violations.iter().all(|v| v.rule != "loss-within-budget"),
+            "seed {}: lost data within budget:\n{}",
+            seed,
+            r.render()
+        );
+        let (minimal, _) = minimize(&cfg, &schedule);
+        prop_assert!(minimal.entries.len() <= schedule.entries.len());
+        for e in &minimal.entries {
+            prop_assert!(
+                schedule.entries.contains(e),
+                "seed {}: shrunk entry {} not from the original schedule",
+                seed,
+                e
+            );
+        }
+        prop_assert!(
+            !run_with_schedule(&cfg, minimal.clone()).passed(),
+            "seed {}: shrunk schedule no longer reproduces",
+            seed
+        );
+    }
+}

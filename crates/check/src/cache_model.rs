@@ -163,6 +163,10 @@ impl CacheModel {
                     }
                     self.budgets.remove(key);
                     self.last_written.remove(key);
+                    // The budget shadow above is the judge of whether this
+                    // loss was legal; either way the tombstone is now
+                    // accounted for, so clear it before the structural audit.
+                    self.cluster.acknowledge_loss(*key);
                 }
             }
             Op::Repair { blade } => {
@@ -324,7 +328,9 @@ pub fn render_trace(trace: &[Op], scope: Scope, violations: &[String]) -> String
             ),
             Op::Destage { page } => format!("let _ = c.destage(PageKey::new(0, {page}));"),
             Op::Invalidate { page } => format!("c.invalidate_page(PageKey::new(0, {page}));"),
-            Op::Fail { blade } => format!("let _ = c.fail_blade({blade});"),
+            Op::Fail { blade } => format!(
+                "for key in c.fail_blade({blade}).lost {{ c.acknowledge_loss(key); }}"
+            ),
             Op::Repair { blade } => format!("c.repair_blade({blade});"),
         };
         out.push_str(&line);

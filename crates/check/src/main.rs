@@ -13,8 +13,9 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore, render_qos_trace, render_trace, render_virt_trace, CacheModel, Exploration, Limits,
-    QosModel, QosScope, Scope, SearchOrder, VirtModel, VirtScope,
+    explore, render_failover_trace, render_qos_trace, render_trace, render_virt_trace, CacheModel,
+    Exploration, FailoverModel, FailoverScope, Limits, QosModel, QosScope, Scope, SearchOrder,
+    VirtModel, VirtScope,
 };
 
 struct Args {
@@ -27,6 +28,7 @@ struct Args {
     order: SearchOrder,
     virt: bool,
     qos: bool,
+    failover: bool,
 }
 
 impl Default for Args {
@@ -41,6 +43,7 @@ impl Default for Args {
             order: SearchOrder::Bfs,
             virt: false,
             qos: false,
+            failover: false,
         }
     }
 }
@@ -60,6 +63,7 @@ OPTIONS:
   --dfs            depth-first order (default: breadth-first)
   --virt           check the DMSD volume manager instead of the cache
   --qos            check the ys-qos admission controller instead
+  --failover       check the §6.1 crash/promote/destage failover protocol
   -h, --help       print this help
 ";
 
@@ -83,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
             "--dfs" => args.order = SearchOrder::Dfs,
             "--virt" => args.virt = true,
             "--qos" => args.qos = true,
+            "--failover" => args.failover = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -113,7 +118,27 @@ fn main() -> ExitCode {
     };
     let limits = Limits { max_depth: args.depth, max_states: args.max_states };
 
-    if args.qos {
+    if args.failover {
+        let scope = FailoverScope {
+            blades: args.blades,
+            pages: args.pages.min(2),
+            n_way: args.n_way,
+            capacity_pages: args.capacity,
+        };
+        let result = explore(FailoverModel::new(scope), limits, args.order);
+        report(
+            &format!(
+                "failover model, {} blades × {} pages, {}-way writes, depth {}",
+                scope.blades, scope.pages, scope.n_way, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_failover_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else if args.qos {
         let scope = QosScope::small();
         let result = explore(QosModel::new(scope), limits, args.order);
         report(

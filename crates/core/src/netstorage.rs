@@ -364,12 +364,33 @@ impl NetStorage {
         }
     }
 
+    fn apply_shipped(
+        &mut self,
+        dst: SiteId,
+        arrival: SimTime,
+        rec: &ys_geo::WriteRecord,
+    ) -> Result<SimTime, NetError> {
+        let ino = Ino(rec.file);
+        let policy = self.fs.policy(ino).clone();
+        let extents = self.fs.read(ino, rec.offset, rec.len)?;
+        self.write_extents_at(dst, arrival, 0, &extents, 1, policy.retention)
+    }
+
     /// Ship pending async replication, up to `budget_bytes` per site pair.
     /// Returns the last delivery time.
+    ///
+    /// Shipping is two-phase against the journal: records are only counted
+    /// shipped once applied at the destination. A pair whose WAN link is
+    /// down (site failure or [`partition_link`]) keeps its backlog intact,
+    /// and a link that dies mid-batch requeues exactly the unapplied suffix
+    /// — the destination's acknowledged prefix never gains a gap and never
+    /// sees a record twice.
+    ///
+    /// [`partition_link`]: NetStorage::partition_link
     pub fn ship_async(&mut self, now: SimTime, budget_bytes: u64) -> Result<SimTime, NetError> {
         let nsites = self.topology.len();
         let mut last = now;
-        // ReplicationEngine::ship is untimed; stamp its batch instants.
+        // ReplicationEngine batches are untimed; stamp their instants.
         self.repl.trace_mut().set_now(now);
         for s in 0..nsites {
             for d in 0..nsites {
@@ -377,18 +398,41 @@ impl NetStorage {
                     continue;
                 }
                 let (src, dst) = (SiteId(s), SiteId(d));
-                let records = self.repl.ship(src, dst, budget_bytes);
-                for rec in records {
-                    if let Some(arrival) = self.wan_transfer(now, src, dst, rec.len) {
-                        let ino = Ino(rec.file);
-                        let policy = self.fs.policy(ino).clone();
-                        let extents = self.fs.read(ino, rec.offset, rec.len)?;
-                        let done = self.write_extents_at(dst, arrival, 0, &extents, 1, policy.retention)?;
-                        self.access.set_home(rec.file, dst);
-                        self.stats.async_writes_shipped += 1;
-                        last = last.max(done);
+                if self.topology.link(src, dst).is_none() {
+                    // Partitioned or dead endpoint: leave the journal
+                    // intact so the backlog drains after heal.
+                    continue;
+                }
+                let records = self.repl.ship_begin(src, dst, budget_bytes);
+                if records.is_empty() {
+                    continue;
+                }
+                let mut acked: Option<u64> = None;
+                for rec in &records {
+                    let Some(arrival) = self.wan_transfer(now, src, dst, rec.len) else {
+                        break; // link dropped mid-batch; suffix is aborted below
+                    };
+                    match self.apply_shipped(dst, arrival, rec) {
+                        Ok(done) => {
+                            acked = Some(rec.seq);
+                            self.access.set_home(rec.file, dst);
+                            self.stats.async_writes_shipped += 1;
+                            last = last.max(done);
+                        }
+                        Err(e) => {
+                            if let Some(seq) = acked {
+                                self.repl.ship_confirm(src, dst, seq);
+                            }
+                            self.repl.ship_abort(src, dst);
+                            return Err(e);
+                        }
                     }
                 }
+                if let Some(seq) = acked {
+                    self.repl.ship_confirm(src, dst, seq);
+                }
+                // Anything unconfirmed goes back to the queue head.
+                self.repl.ship_abort(src, dst);
             }
         }
         Ok(last)
@@ -455,6 +499,31 @@ impl NetStorage {
 
     pub fn repair_site(&mut self, site: SiteId) {
         self.topology.repair_site(site);
+    }
+
+    /// Cut the WAN trunk between two sites without failing either site:
+    /// async backlog accumulates, sync-policy replication to the far side
+    /// stops, and both sites keep serving local traffic.
+    pub fn partition_link(&mut self, a: SiteId, b: SiteId) {
+        self.topology.fail_link(a, b);
+    }
+
+    /// Restore a trunk cut by [`NetStorage::partition_link`]. The backlog
+    /// drains on the next [`NetStorage::ship_async`].
+    pub fn heal_link(&mut self, a: SiteId, b: SiteId) {
+        self.topology.repair_link(a, b);
+    }
+
+    /// Replication-engine view (acknowledged prefixes, inflight batches) —
+    /// read-only, for oracles and reports.
+    pub fn replication(&self) -> &ReplicationEngine {
+        &self.repl
+    }
+
+    /// Mutable replication-engine access, for fault harnesses that arm
+    /// crash points on its trace recorder.
+    pub fn replication_mut(&mut self) -> &mut ReplicationEngine {
+        &mut self.repl
     }
 
     /// Where a file currently has copies.
@@ -659,6 +728,32 @@ mod tests {
         assert_eq!(report.files_lost.len(), 1);
         let err = ns.read_file(SimTime(1), S1, 0, "/scratch.tmp", 0, 1 << 20);
         assert!(matches!(err, Err(NetError::FileUnavailable(_))));
+    }
+
+    #[test]
+    fn partition_accumulates_backlog_then_heals_gapless() {
+        let mut ns = NetStorage::new(small_sites());
+        let pol = FilePolicy { geo: GeoPolicy::async_(2), ..FilePolicy::default() };
+        ns.create_file("/wal.dat", pol, S0).unwrap();
+        ns.partition_link(S0, S1);
+        let mut t = SimTime::ZERO;
+        for i in 0..4u64 {
+            let w = ns.write_file(t, S0, 0, "/wal.dat", i << 20, 1 << 20).unwrap();
+            t = w.done;
+        }
+        // Partitioned: the S0->S1 journal must not drain, and nothing may
+        // be counted shipped.
+        ns.ship_async(t, u64::MAX).unwrap();
+        assert_eq!(ns.async_backlog(S0, S1).0, 4, "backlog survives the partition");
+        assert_eq!(ns.stats.async_writes_shipped, 0);
+        assert_eq!(ns.replication().acked_through(S0, S1), None);
+        // Both endpoints are still up and serving local traffic.
+        assert!(ns.read_file(t, S0, 0, "/wal.dat", 0, 1 << 20).is_ok());
+        ns.heal_link(S0, S1);
+        ns.ship_async(t, u64::MAX).unwrap();
+        assert_eq!(ns.async_backlog(S0, S1).0, 0, "backlog drains after heal");
+        assert_eq!(ns.stats.async_writes_shipped, 4);
+        assert_eq!(ns.replication().acked_through(S0, S1), Some(3), "gapless acked prefix");
     }
 
     #[test]

@@ -57,6 +57,17 @@ impl Rebuilder {
         self.coord.progress()
     }
 
+    /// The underlying coordinator, for coverage audits.
+    pub fn coordinator(&self) -> &RebuildCoordinator {
+        &self.coord
+    }
+
+    /// Mutable coordinator access, for fault harnesses that arm crash
+    /// points on its trace recorder.
+    pub fn coordinator_mut(&mut self) -> &mut RebuildCoordinator {
+        &mut self.coord
+    }
+
     pub fn is_done(&self) -> bool {
         self.coord.is_done()
     }
@@ -102,7 +113,18 @@ impl Rebuilder {
         // One large sequential read per survivor + one sequential write to
         // the replacement, covering the whole batch (see ys-raid::rebuild).
         let plan = rebuild_batch_plan(self.coord.geometry(), self.coord.failed_member(), batch.start, batch.rows());
-        let t = cluster.charge_io_plan_in(self.group, blade, avail, &plan)?;
+        let t = match cluster.charge_io_plan_in(self.group, blade, avail, &plan) {
+            Ok(t) => t,
+            Err(e) => {
+                // The worker crashed between claim and complete (e.g. a
+                // survivor member died under it). Its claim must requeue —
+                // leaking it would leave the batch's rows never rebuilt and
+                // a retried step would panic on the stuck claim.
+                self.coord.fail_worker(blade);
+                self.workers[widx] = None;
+                return Err(e);
+            }
+        };
         self.coord.trace_mut().set_now(t);
         self.coord.complete(blade);
         self.workers[widx] = Some((blade, t));
@@ -186,6 +208,40 @@ mod tests {
         let done = r.run(&mut c).unwrap();
         assert!(r.is_done(), "survivor finishes the rebuild");
         assert!(done != SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn failed_io_mid_batch_requeues_the_claim() {
+        let mut c = cluster(4, 6);
+        c.fail_disk(DiskId(0));
+        let mut r = Rebuilder::new(&mut c, SimTime::ZERO, DiskId(0), REGION, &[0, 1], 16);
+        for _ in 0..2 {
+            r.step(&mut c).unwrap();
+        }
+        // A survivor member dies mid-rebuild: the next charged batch fails
+        // after the claim. The claim must requeue, not leak.
+        c.fail_disk(DiskId(1));
+        let mut failures = 0;
+        loop {
+            match r.step(&mut c) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(_) => failures += 1,
+            }
+            assert!(
+                r.coordinator().audit_coverage().is_empty(),
+                "coverage hole after failed step: {:?}",
+                r.coordinator().audit_coverage()
+            );
+            if failures > 4 {
+                break;
+            }
+        }
+        assert!(failures > 0, "survivor-member failure must surface");
+        assert!(!r.is_done(), "rebuild cannot finish against a dead survivor");
+        // No rows may be stranded: everything unfinished is claimable again.
+        assert_eq!(r.coordinator().outstanding(), 0, "no claims leaked");
+        assert!(r.coordinator().audit_coverage().is_empty());
     }
 
     #[test]

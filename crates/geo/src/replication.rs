@@ -25,9 +25,20 @@ pub struct WriteRecord {
 }
 
 /// Per-destination journal: FIFO, shipped strictly in order.
+///
+/// Shipping is two-phase. [`ReplicationEngine::ship_begin`] moves records
+/// from `queue` to `inflight`; once the orchestrator has confirmed delivery
+/// it calls [`ReplicationEngine::ship_confirm`], which is the only place the
+/// shipped counters and `last_shipped_seq` advance. A transfer that dies
+/// mid-batch calls [`ReplicationEngine::ship_abort`], which requeues the
+/// inflight records at the *front* of the queue so the acknowledged prefix
+/// stays gapless: nothing is counted shipped that was not applied, and
+/// nothing applied is ever re-sent (no double-apply, no skip).
 #[derive(Clone, Debug, Default)]
 struct Journal {
     queue: VecDeque<WriteRecord>,
+    /// Popped by `ship_begin`, not yet confirmed or aborted.
+    inflight: VecDeque<WriteRecord>,
     pending_bytes: u64,
     last_shipped_seq: Option<u64>,
     shipped_writes: u64,
@@ -101,12 +112,33 @@ impl ReplicationEngine {
     }
 
     /// Ship up to `max_bytes` from the (src, dst) journal, strictly in
-    /// write order. Returns the shipped records (the orchestrator charges
-    /// WAN transfer time for their bytes).
+    /// write order, assuming delivery cannot fail. Equivalent to
+    /// [`ship_begin`] + [`ship_confirm`] of the whole batch — orchestrators
+    /// that can lose a transfer mid-batch (WAN partition, site crash) must
+    /// use the two-phase calls instead.
+    ///
+    /// [`ship_begin`]: ReplicationEngine::ship_begin
+    /// [`ship_confirm`]: ReplicationEngine::ship_confirm
     pub fn ship(&mut self, src: SiteId, dst: SiteId, max_bytes: u64) -> Vec<WriteRecord> {
+        let out = self.ship_begin(src, dst, max_bytes);
+        if let Some(last) = out.last() {
+            self.ship_confirm(src, dst, last.seq);
+        }
+        out
+    }
+
+    /// Phase one: pop up to `max_bytes` of records into the inflight set
+    /// and return copies for the orchestrator to deliver. Shipped counters
+    /// do not move yet. A `ship_begin` while records are already inflight
+    /// returns an empty batch — the previous batch must be confirmed or
+    /// aborted first (one outstanding batch per journal keeps write order).
+    pub fn ship_begin(&mut self, src: SiteId, dst: SiteId, max_bytes: u64) -> Vec<WriteRecord> {
         let Some(j) = self.journals.get_mut(&(src, dst)) else {
             return vec![];
         };
+        if !j.inflight.is_empty() {
+            return vec![];
+        }
         let mut out = Vec::new();
         let mut budget = max_bytes;
         while let Some(front) = j.queue.front() {
@@ -118,12 +150,7 @@ impl ReplicationEngine {
             let rec = j.queue.pop_front().expect("non-empty");
             budget = budget.saturating_sub(rec.len);
             j.pending_bytes -= rec.len;
-            if let Some(last) = j.last_shipped_seq {
-                debug_assert!(rec.seq > last, "journal order violated");
-            }
-            j.last_shipped_seq = Some(rec.seq);
-            j.shipped_writes += 1;
-            j.shipped_bytes += rec.len;
+            j.inflight.push_back(rec);
             out.push(rec);
             if budget == 0 {
                 break;
@@ -134,6 +161,62 @@ impl ReplicationEngine {
             self.trace.instant("geo", "ship", dst.0 as u32, out.len() as u64, bytes);
         }
         out
+    }
+
+    /// Phase two (success): the destination has durably applied every
+    /// inflight record with `seq <= through_seq`. Advances the shipped
+    /// counters and the acknowledged prefix. Records beyond `through_seq`
+    /// stay inflight for a later confirm or abort.
+    pub fn ship_confirm(&mut self, src: SiteId, dst: SiteId, through_seq: u64) {
+        let Some(j) = self.journals.get_mut(&(src, dst)) else {
+            return;
+        };
+        while let Some(front) = j.inflight.front() {
+            if front.seq > through_seq {
+                break;
+            }
+            let rec = j.inflight.pop_front().expect("non-empty");
+            if let Some(last) = j.last_shipped_seq {
+                debug_assert!(rec.seq > last, "journal order violated");
+            }
+            j.last_shipped_seq = Some(rec.seq);
+            j.shipped_writes += 1;
+            j.shipped_bytes += rec.len;
+        }
+    }
+
+    /// Phase two (failure): the transfer died before the remaining inflight
+    /// records were applied. They return to the *front* of the queue in
+    /// order, so the next `ship_begin` re-sends exactly the unacknowledged
+    /// suffix — no record is skipped and none is counted twice. Returns the
+    /// number of records requeued.
+    pub fn ship_abort(&mut self, src: SiteId, dst: SiteId) -> usize {
+        let Some(j) = self.journals.get_mut(&(src, dst)) else {
+            return 0;
+        };
+        let n = j.inflight.len();
+        while let Some(rec) = j.inflight.pop_back() {
+            j.pending_bytes += rec.len;
+            j.queue.push_front(rec);
+        }
+        if n > 0 {
+            self.trace.instant("geo", "ship_abort", dst.0 as u32, n as u64, 0);
+        }
+        n
+    }
+
+    /// Highest sequence confirmed applied at `dst` (the acknowledged
+    /// prefix boundary), if anything has been confirmed.
+    pub fn acked_through(&self, src: SiteId, dst: SiteId) -> Option<u64> {
+        self.journals.get(&(src, dst)).and_then(|j| j.last_shipped_seq)
+    }
+
+    /// Records currently inflight (begun, neither confirmed nor aborted).
+    pub fn inflight(&self, src: SiteId, dst: SiteId) -> u64 {
+        match self.journals.get(&(src, dst)) {
+            Some(j) => j.inflight.len() as u64,
+            None => 0,
+        }
     }
 
     /// Writes and bytes not yet shipped from `src` to `dst`.
@@ -152,12 +235,14 @@ impl ReplicationEngine {
     }
 
     /// The source site is destroyed: every pending (unshipped) async write
-    /// toward every destination is lost. Returns them — this IS the data
+    /// toward every destination is lost, and so is anything inflight —
+    /// begun but never confirmed applied. Returns them — this IS the data
     /// loss window the paper contrasts sync against.
     pub fn source_cut(&mut self, src: SiteId) -> Vec<WriteRecord> {
         let mut lost = Vec::new();
         for ((s, _), j) in self.journals.iter_mut() {
             if *s == src {
+                lost.extend(j.inflight.drain(..));
                 lost.extend(j.queue.drain(..));
                 j.pending_bytes = 0;
             }
@@ -248,6 +333,63 @@ mod tests {
         // Sync writes have no window by construction.
         e.record_sync(100);
         assert_eq!(e.sync_totals(), (1, 100));
+    }
+
+    #[test]
+    fn aborted_batch_is_resent_without_gap_or_double_count() {
+        let mut e = ReplicationEngine::new();
+        for i in 0..6u64 {
+            e.enqueue(A, B, 1, i * 100, 100, SimTime(i));
+        }
+        // Begin a 3-record batch, then the link dies before delivery.
+        let batch = e.ship_begin(A, B, 300);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(e.inflight(A, B), 3);
+        assert_eq!(e.shipped(A, B), (0, 0), "nothing confirmed yet");
+        assert_eq!(e.ship_abort(A, B), 3);
+        assert_eq!(e.inflight(A, B), 0);
+        assert_eq!(e.pending(A, B), (6, 600), "aborted records are pending again");
+        // After heal the full sequence ships exactly once, in order.
+        let resent = e.ship(A, B, u64::MAX);
+        let seqs: Vec<u64> = resent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..6).collect::<Vec<u64>>());
+        assert_eq!(e.shipped(A, B), (6, 600));
+        assert_eq!(e.acked_through(A, B), Some(5));
+    }
+
+    #[test]
+    fn partial_confirm_keeps_the_unacked_suffix_inflight() {
+        let mut e = ReplicationEngine::new();
+        for i in 0..4u64 {
+            e.enqueue(A, B, 1, i, 50, SimTime(i));
+        }
+        let batch = e.ship_begin(A, B, u64::MAX);
+        assert_eq!(batch.len(), 4);
+        // Only the first two landed before the partition.
+        e.ship_confirm(A, B, batch[1].seq);
+        assert_eq!(e.shipped(A, B), (2, 100));
+        assert_eq!(e.acked_through(A, B), Some(batch[1].seq));
+        assert_eq!(e.inflight(A, B), 2);
+        // Second begin while a batch is outstanding returns nothing.
+        assert!(e.ship_begin(A, B, u64::MAX).is_empty());
+        e.ship_abort(A, B);
+        let resent = e.ship(A, B, u64::MAX);
+        let seqs: Vec<u64> = resent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![batch[2].seq, batch[3].seq], "exactly the unacked suffix");
+        assert_eq!(e.shipped(A, B), (4, 200), "no double count");
+    }
+
+    #[test]
+    fn source_cut_counts_inflight_as_lost() {
+        let mut e = ReplicationEngine::new();
+        for i in 0..5u64 {
+            e.enqueue(A, B, 1, i, 1, SimTime(i));
+        }
+        let batch = e.ship_begin(A, B, 2);
+        assert_eq!(batch.len(), 2);
+        let lost = e.source_cut(A);
+        assert_eq!(lost.len(), 5, "inflight-but-unconfirmed writes are lost too");
+        assert!(lost.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub struct SiteTopology {
     /// Symmetric matrices indexed `[a][b]`.
     distance_km: Vec<Vec<f64>>,
     trunk: Vec<Vec<Option<LinkSpec>>>,
+    /// Symmetric partition mask: `true` means the trunk exists but is cut.
+    link_down: Vec<Vec<bool>>,
 }
 
 impl SiteTopology {
@@ -38,6 +40,7 @@ impl SiteTopology {
                 .collect(),
             distance_km: vec![vec![0.0; n]; n],
             trunk: vec![vec![None; n]; n],
+            link_down: vec![vec![false; n]; n],
         }
     }
 
@@ -72,10 +75,29 @@ impl SiteTopology {
     }
 
     pub fn link(&self, a: SiteId, b: SiteId) -> Option<LinkSpec> {
-        if !self.sites[a.0].up || !self.sites[b.0].up {
+        if !self.sites[a.0].up || !self.sites[b.0].up || self.link_down[a.0][b.0] {
             return None;
         }
         self.trunk[a.0][b.0]
+    }
+
+    /// Cut the trunk between two sites (both directions) without taking
+    /// either site down: a WAN partition, not a site failure.
+    pub fn fail_link(&mut self, a: SiteId, b: SiteId) {
+        self.link_down[a.0][b.0] = true;
+        self.link_down[b.0][a.0] = true;
+    }
+
+    /// Restore a previously cut trunk.
+    pub fn repair_link(&mut self, a: SiteId, b: SiteId) {
+        self.link_down[a.0][b.0] = false;
+        self.link_down[b.0][a.0] = false;
+    }
+
+    /// True when the trunk between two sites is administratively cut
+    /// (independent of site up/down state).
+    pub fn link_cut(&self, a: SiteId, b: SiteId) -> bool {
+        self.link_down[a.0][b.0]
     }
 
     /// One-way latency for a message of `bytes` between connected sites
@@ -161,6 +183,22 @@ mod tests {
         t.fail_site(SiteId(1));
         assert!(t.link(SiteId(0), SiteId(1)).is_none());
         t.repair_site(SiteId(1));
+        assert!(t.link(SiteId(0), SiteId(1)).is_some());
+    }
+
+    #[test]
+    fn cut_link_blocks_traffic_without_failing_sites() {
+        let mut t = SiteTopology::new(&["a", "b", "c"]);
+        t.connect(SiteId(0), SiteId(1), catalog::oc192(), 100.0);
+        t.connect(SiteId(0), SiteId(2), catalog::oc192(), 100.0);
+        t.fail_link(SiteId(1), SiteId(0));
+        assert!(t.link_cut(SiteId(0), SiteId(1)));
+        assert!(t.link(SiteId(0), SiteId(1)).is_none());
+        assert!(t.link(SiteId(1), SiteId(0)).is_none());
+        // Other trunks and the sites themselves stay up.
+        assert!(t.link(SiteId(0), SiteId(2)).is_some());
+        assert!(t.site(SiteId(1)).up);
+        t.repair_link(SiteId(0), SiteId(1));
         assert!(t.link(SiteId(0), SiteId(1)).is_some());
     }
 

@@ -28,6 +28,8 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ("rebuild", "distributed RAID rebuild scales with worker blades (§2.4, §6.3)"),
     ("georep", "sync vs async geographic replication and the async loss window (§7)"),
     ("noisy-neighbor", "ys-qos admission control isolates a premium tenant from a scavenger flood"),
+    ("crash-nway", "ys-chaos campaign: blade crashes at adversarial instants recover clean; a deliberate N-failure shrinks to a replayable counterexample (§6.1)"),
+    ("partition-heal", "ys-chaos campaign: WAN trunks cut mid-geo-ship heal gapless — the async backlog drains with no prefix gap (§7)"),
 ];
 
 /// Run a scenario by name; `None` for an unknown name.
@@ -39,6 +41,8 @@ pub fn run(name: &str) -> Option<RunReport> {
         "rebuild" => Some(rebuild()),
         "georep" => Some(georep()),
         "noisy-neighbor" => Some(noisy_neighbor()),
+        "crash-nway" => Some(crash_nway()),
+        "partition-heal" => Some(partition_heal()),
         _ => None,
     }
 }
@@ -561,6 +565,238 @@ fn noisy_neighbor() -> RunReport {
     RunReport {
         scenario: "noisy-neighbor",
         tables: vec![table, adm],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// §6.1 end-to-end, via `ys-chaos`: a seeded fault campaign crashes blades
+/// at adversarial trace-spine instants (mid-destage, mid-promotion) and the
+/// recovery oracle checks every paper promise against a shadow model. The
+/// fatal arm appends a deliberate N-failure, which must surface as an
+/// *explicit* `acked-write-lost` — never a silent stale read — and shrink
+/// to a minimal replayable `--seed S --keep i,j` schedule.
+fn crash_nway() -> RunReport {
+    use ys_chaos::{
+        minimize, run_campaign, run_with_schedule, CampaignConfig, CampaignSchedule, Injection,
+    };
+
+    // The schedule is a pure function of the seed; pick the first seed whose
+    // campaign includes a blade-crash episode so the recovery path is on.
+    let seed = (0u64..64)
+        .find(|&s| {
+            let cfg = CampaignConfig { seed: s, steps: 64, ..CampaignConfig::default() };
+            CampaignSchedule::generate(&cfg)
+                .entries
+                .iter()
+                .any(|e| matches!(e.injection, Injection::CrashBlade { .. }))
+        })
+        .unwrap_or(4);
+    let cfg = CampaignConfig { seed, steps: 64, ..CampaignConfig::default() };
+    let within = run_campaign(&cfg);
+
+    // Fatal arm: the same seed with a deliberate N-failure appended, then
+    // ddmin down to a minimal still-failing subset.
+    let fatal_cfg = CampaignConfig { fatal: true, ..cfg };
+    let schedule = CampaignSchedule::generate(&fatal_cfg);
+    let fatal = run_with_schedule(&fatal_cfg, schedule.clone());
+    let (minimal, shrink_runs) = minimize(&fatal_cfg, &schedule);
+    let shrunk = run_with_schedule(&fatal_cfg, minimal.clone());
+
+    let mut reg = MetricsRegistry::new();
+    reg.gauge(MetricKey::aggregate("chaos", "injections_fired"), within.injections_fired as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "acked_verified"), within.acked_verified as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "violations_within_budget"), within.violations.len() as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "shrink_runs"), shrink_runs as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "counterexample_len"), minimal.entries.len() as f64);
+    for (kind, took) in &within.recovery {
+        reg.gauge(MetricKey::aggregate("chaos", &format!("recovery_{kind}_ms")), took.as_millis_f64());
+    }
+
+    let mut runs = Table::new(
+        &format!("fault campaign, seed {seed}, {} workload steps", cfg.steps),
+        &["run", "injections fired", "acked verified", "violations"],
+    );
+    runs.row(vec![
+        "within budget (≤ N−1)".into(),
+        within.injections_fired.to_string(),
+        format!("{}/{}", within.acked_verified, within.acked_writes),
+        within.violations.len().to_string(),
+    ]);
+    runs.row(vec![
+        "fatal (N-failure appended)".into(),
+        fatal.injections_fired.to_string(),
+        format!("{}/{}", fatal.acked_verified, fatal.acked_writes),
+        fatal.violations.len().to_string(),
+    ]);
+    let mut rec = Table::new("recovery, fault to fully-destaged", &["fault", "ms"]);
+    for (kind, took) in &within.recovery {
+        rec.row(vec![(*kind).into(), f2(took.as_millis_f64())]);
+    }
+    let mut shrink = Table::new("schedule shrinking (ddmin)", &["metric", "value"]);
+    shrink.row(vec!["original entries".into(), schedule.entries.len().to_string()]);
+    shrink.row(vec!["shrunk entries".into(), minimal.entries.len().to_string()]);
+    shrink.row(vec!["campaign runs spent".into(), shrink_runs.to_string()]);
+    shrink.row(vec!["replay".into(), minimal.replay_line()]);
+
+    let fatal_loud = fatal.violations.iter().any(|v| v.rule == "acked-write-lost");
+    let fatal_clean = fatal.violations.iter().all(|v| v.rule != "loss-within-budget");
+    let minimal_subset = minimal.entries.iter().all(|e| schedule.entries.contains(e));
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "§6.1: a ≤ N−1 fault campaign recovers with zero oracle violations",
+            metric: "chaos.violations_within_budget".into(),
+            observed: within.violations.len().to_string(),
+            target: "== 0".into(),
+            pass: within.passed(),
+        },
+        Checkpoint {
+            claim: "§6.1: every surviving acknowledged write reads back verbatim",
+            metric: "chaos.acked_verified".into(),
+            observed: format!("{}/{}", within.acked_verified, within.acked_writes),
+            target: "> 0, none unreadable".into(),
+            pass: within.acked_verified > 0,
+        },
+        Checkpoint {
+            claim: "§6.1: blade-crash recovery (repair + destage drain) is measured",
+            metric: "chaos.recovery_blade-crash_ms".into(),
+            observed: within
+                .recovery
+                .iter()
+                .find(|(k, _)| *k == "blade-crash")
+                .map(|(_, d)| f2(d.as_millis_f64()))
+                .unwrap_or_else(|| "absent".into()),
+            target: "recorded".into(),
+            pass: within.recovery.iter().any(|(k, _)| *k == "blade-crash"),
+        },
+        Checkpoint {
+            claim: "the deliberate N-failure surfaces as an explicit acked-write-lost",
+            metric: "fatal.violations".into(),
+            observed: if fatal_loud { "acked-write-lost".into() } else { "missing".into() },
+            target: "present".into(),
+            pass: fatal_loud,
+        },
+        Checkpoint {
+            claim: "no loss ever hides inside the §6.1 budget (that would be a bug)",
+            metric: "fatal.loss-within-budget".into(),
+            observed: if fatal_clean { "absent".into() } else { "PRESENT".into() },
+            target: "absent".into(),
+            pass: fatal_clean,
+        },
+        Checkpoint {
+            claim: "ddmin shrinks the schedule to a replayable subset that still fails",
+            metric: "chaos.counterexample_len".into(),
+            observed: format!("{} of {}", minimal.entries.len(), schedule.entries.len()),
+            target: "subset, still failing".into(),
+            pass: minimal_subset && minimal.entries.len() <= schedule.entries.len() && !shrunk.passed(),
+        },
+    ];
+    RunReport {
+        scenario: "crash-nway",
+        tables: vec![runs, rec, shrink],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// §7 end-to-end, via `ys-chaos`: hand-built adversarial schedule that cuts
+/// the WAN trunks out of the home site — the first exactly as an async geo
+/// batch is on the wire — then heals them. The recovery oracle requires the
+/// backlog to drain gapless afterwards: shipped == enqueued, intact acked
+/// prefix, nothing stuck in flight.
+fn partition_heal() -> RunReport {
+    use ys_chaos::{
+        run_with_schedule, CampaignConfig, CampaignSchedule, CrashEvent, Injection, ScheduledFault,
+        Trigger,
+    };
+
+    let cfg = CampaignConfig { seed: 11, steps: 64, ..CampaignConfig::default() };
+    let entries = vec![
+        ScheduledFault {
+            index: 0,
+            trigger: Trigger::OnEvent { site: 0, event: CrashEvent::GeoShip, after_step: 4 },
+            injection: Injection::PartitionLink { a: 0, b: 1 },
+        },
+        ScheduledFault {
+            index: 1,
+            trigger: Trigger::AtStep(12),
+            injection: Injection::PartitionLink { a: 0, b: 2 },
+        },
+        ScheduledFault {
+            index: 2,
+            trigger: Trigger::AtStep(22),
+            injection: Injection::HealLink { a: 0, b: 1 },
+        },
+        ScheduledFault {
+            index: 3,
+            trigger: Trigger::AtStep(30),
+            injection: Injection::HealLink { a: 0, b: 2 },
+        },
+    ];
+    let schedule = CampaignSchedule { seed: cfg.seed, entries };
+    let n_entries = schedule.entries.len() as u64;
+    let rendered = schedule.render();
+    let r = run_with_schedule(&cfg, schedule);
+
+    let geo_violations =
+        r.violations.iter().filter(|v| v.rule.starts_with("geo-")).count();
+    let mut reg = MetricsRegistry::new();
+    reg.gauge(MetricKey::aggregate("chaos", "partition_injections_fired"), r.injections_fired as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "partition_violations"), r.violations.len() as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "partition_geo_violations"), geo_violations as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "partition_acked_verified"), r.acked_verified as f64);
+    reg.gauge(MetricKey::aggregate("chaos", "partition_ops_failed"), r.ops_failed as f64);
+
+    let mut sched = Table::new("adversarial schedule (cut both trunks, heal both)", &["entry"]);
+    for line in rendered.lines() {
+        sched.row(vec![line.trim_start().to_string()]);
+    }
+    let mut out = Table::new("campaign outcome", &["metric", "value"]);
+    out.row(vec!["injections fired".into(), r.injections_fired.to_string()]);
+    out.row(vec!["workload ops failed".into(), r.ops_failed.to_string()]);
+    out.row(vec![
+        "acked writes verified".into(),
+        format!("{}/{}", r.acked_verified, r.acked_writes),
+    ]);
+    out.row(vec!["oracle violations".into(), r.violations.len().to_string()]);
+
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "§7: after both trunks heal, the async backlog drains gapless",
+            metric: "chaos.partition_geo_violations".into(),
+            observed: geo_violations.to_string(),
+            target: "== 0 (no backlog-stuck, no prefix gap)".into(),
+            pass: geo_violations == 0,
+        },
+        Checkpoint {
+            claim: "§7: a double WAN partition is absorbed with zero oracle violations",
+            metric: "chaos.partition_violations".into(),
+            observed: r.violations.len().to_string(),
+            target: "== 0".into(),
+            pass: r.passed(),
+        },
+        Checkpoint {
+            claim: "every cut and heal in the schedule actually fired",
+            metric: "chaos.partition_injections_fired".into(),
+            observed: r.injections_fired.to_string(),
+            target: format!("== {n_entries}"),
+            pass: r.injections_fired == n_entries,
+        },
+        Checkpoint {
+            claim: "home-site acknowledged writes all read back after the heal",
+            metric: "chaos.partition_acked_verified".into(),
+            observed: format!("{}/{}", r.acked_verified, r.acked_writes),
+            target: "> 0, none unreadable".into(),
+            pass: r.acked_verified > 0,
+        },
+    ];
+    RunReport {
+        scenario: "partition-heal",
+        tables: vec![sched, out],
         checkpoints,
         registry: reg,
         events: Vec::new(),

@@ -65,6 +65,8 @@ pub struct RebuildCoordinator {
     /// Outstanding claims per worker.
     claims: HashMap<usize, RowBatch>,
     completed_rows: u64,
+    /// Ledger of completed batches, for the exact-once coverage audit.
+    completed: Vec<RowBatch>,
     trace: SpanRecorder,
 }
 
@@ -81,6 +83,7 @@ impl RebuildCoordinator {
             requeued: Vec::new(),
             claims: HashMap::new(),
             completed_rows: 0,
+            completed: Vec::new(),
             trace: SpanRecorder::disabled(),
         }
     }
@@ -131,6 +134,7 @@ impl RebuildCoordinator {
     pub fn complete(&mut self, worker: usize) {
         let batch = self.claims.remove(&worker).expect("completing worker holds no batch");
         self.completed_rows += batch.rows();
+        self.completed.push(batch);
         self.trace.instant("raid", "complete", worker as u32, batch.start, batch.end);
     }
 
@@ -144,6 +148,60 @@ impl RebuildCoordinator {
 
     pub fn is_done(&self) -> bool {
         self.completed_rows == self.total_rows
+    }
+
+    /// Rows currently claimed but not yet completed.
+    pub fn outstanding(&self) -> u64 {
+        self.claims.values().map(|b| b.rows()).sum()
+    }
+
+    /// Exact-once coverage audit: every row in `[0, total_rows)` must be
+    /// accounted for by exactly one of {completed ledger, outstanding
+    /// claim, requeued batch, unclaimed frontier}. A row covered twice
+    /// means a batch was rebuilt twice (requeue after complete); a row
+    /// covered zero times means a crashed worker's claim leaked and the
+    /// rows will never be rebuilt. Returns human-readable violations
+    /// (empty = healthy); valid at any point in the rebuild, not just at
+    /// the end.
+    pub fn audit_coverage(&self) -> Vec<String> {
+        let mut intervals: Vec<(u64, u64, &str)> = Vec::new();
+        for b in &self.completed {
+            intervals.push((b.start, b.end, "completed"));
+        }
+        for b in self.claims.values() {
+            intervals.push((b.start, b.end, "claimed"));
+        }
+        for b in &self.requeued {
+            intervals.push((b.start, b.end, "requeued"));
+        }
+        if self.next_row < self.total_rows {
+            intervals.push((self.next_row, self.total_rows, "frontier"));
+        }
+        intervals.sort_unstable();
+        let mut violations = Vec::new();
+        let mut cursor = 0u64;
+        for (s, e, kind) in intervals {
+            if s < cursor {
+                violations.push(format!(
+                    "rows [{s}, {}) covered more than once (overlapping {kind} batch)",
+                    cursor.min(e)
+                ));
+            } else if s > cursor {
+                violations.push(format!("rows [{cursor}, {s}) never covered"));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < self.total_rows {
+            violations.push(format!("rows [{cursor}, {}) never covered", self.total_rows));
+        }
+        let ledger: u64 = self.completed.iter().map(|b| b.rows()).sum();
+        if ledger != self.completed_rows {
+            violations.push(format!(
+                "completed ledger has {ledger} rows but the counter says {}",
+                self.completed_rows
+            ));
+        }
+        violations
     }
 
     pub fn progress(&self) -> f64 {
@@ -241,5 +299,66 @@ mod tests {
         let mut c = coord(10);
         c.claim(1).unwrap();
         c.claim(1).unwrap();
+    }
+
+    #[test]
+    fn crash_between_claim_and_complete_keeps_exact_coverage() {
+        let mut c = coord(9);
+        // Worker 1 claims and crashes before completing; worker 2 claims,
+        // completes, then crashes (its batch must NOT requeue).
+        let b1 = c.claim(1).unwrap();
+        c.fail_worker(1);
+        assert!(c.audit_coverage().is_empty(), "requeued batch still covered: {:?}", c.audit_coverage());
+        let _b2 = c.claim(2).unwrap();
+        c.complete(2);
+        c.fail_worker(2);
+        assert!(c.audit_coverage().is_empty(), "completed batch survives late crash");
+        // Drain with crashes interleaved every other claim.
+        let mut w = 10usize;
+        while let Some(b) = c.claim(w) {
+            if w.is_multiple_of(2) {
+                c.fail_worker(w);
+            } else {
+                c.complete(w);
+            }
+            assert!(c.audit_coverage().is_empty(), "mid-rebuild audit after batch {b:?}");
+            w += 1;
+        }
+        // Requeued remnants of the crashed workers still drain.
+        while !c.is_done() {
+            if c.claim(w).is_some() {
+                c.complete(w);
+            }
+            w += 1;
+        }
+        assert!(c.audit_coverage().is_empty());
+        assert_eq!(c.completed.iter().map(|b| b.rows()).sum::<u64>(), 100);
+        let _ = b1;
+    }
+
+    #[test]
+    fn coverage_audit_is_not_vacuous() {
+        // Leaked claim: drop a claimed batch without complete/fail.
+        let mut c = coord(10);
+        c.claim(1).unwrap();
+        c.claims.remove(&1);
+        let v = c.audit_coverage();
+        assert!(v.iter().any(|m| m.contains("never covered")), "leak undetected: {v:?}");
+
+        // Double rebuild: a completed batch requeued again.
+        let mut c = coord(10);
+        let b = c.claim(1).unwrap();
+        c.complete(1);
+        c.requeued.push(b);
+        let v = c.audit_coverage();
+        assert!(v.iter().any(|m| m.contains("more than once")), "double-cover undetected: {v:?}");
+
+        // Ledger/counter drift.
+        let mut c = coord(10);
+        c.claim(1).unwrap();
+        c.complete(1);
+        c.completed_rows += 1;
+        let v = c.audit_coverage();
+        assert!(v.iter().any(|m| m.contains("counter")), "drift undetected: {v:?}");
     }
 }

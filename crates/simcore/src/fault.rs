@@ -122,6 +122,17 @@ pub struct Availability {
     blades: Vec<bool>,
     disks: Vec<bool>,
     sites: Vec<bool>,
+    /// Partitioned inter-site links, stored order-normalized so a repair of
+    /// `Link(b, a)` heals a failure of `Link(a, b)`.
+    down_links: std::collections::HashSet<(usize, usize)>,
+}
+
+fn norm_link(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl Availability {
@@ -130,6 +141,7 @@ impl Availability {
             blades: vec![true; blades],
             disks: vec![true; disks],
             sites: vec![true; sites],
+            down_links: std::collections::HashSet::new(),
         }
     }
 
@@ -139,7 +151,13 @@ impl Availability {
             FaultTarget::Blade(i) => self.blades[i] = up,
             FaultTarget::Disk(i) => self.disks[i] = up,
             FaultTarget::Site(i) => self.sites[i] = up,
-            FaultTarget::Link(..) => {}
+            FaultTarget::Link(a, b) => {
+                if up {
+                    self.down_links.remove(&norm_link(a, b));
+                } else {
+                    self.down_links.insert(norm_link(a, b));
+                }
+            }
         }
     }
 
@@ -153,6 +171,20 @@ impl Availability {
 
     pub fn site_up(&self, i: usize) -> bool {
         self.sites.get(i).copied().unwrap_or(false)
+    }
+
+    /// True when the inter-site link `a <-> b` is not partitioned. Both
+    /// endpoints must also be up for traffic to flow; that check belongs to
+    /// the site mask, not the link mask.
+    pub fn link_up(&self, a: usize, b: usize) -> bool {
+        !self.down_links.contains(&norm_link(a, b))
+    }
+
+    /// Currently partitioned links, order-normalized and sorted.
+    pub fn down_links(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self.down_links.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     pub fn up_blades(&self) -> impl Iterator<Item = usize> + '_ {
@@ -251,6 +283,20 @@ mod tests {
             .fail(SimTime(3), FaultTarget::Disk(7))
             .repair(SimTime(4), FaultTarget::Disk(7));
         assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn link_partitions_normalize_endpoint_order() {
+        let mut a = Availability::new(1, 1, 3);
+        assert!(a.link_up(0, 2));
+        a.apply(&FaultEvent { at: SimTime(1), target: FaultTarget::Link(2, 0), kind: FaultKind::Fail });
+        assert!(!a.link_up(0, 2));
+        assert!(!a.link_up(2, 0));
+        assert!(a.link_up(0, 1));
+        assert_eq!(a.down_links(), vec![(0, 2)]);
+        a.apply(&FaultEvent { at: SimTime(2), target: FaultTarget::Link(0, 2), kind: FaultKind::Repair });
+        assert!(a.link_up(2, 0));
+        assert!(a.down_links().is_empty());
     }
 
     #[test]

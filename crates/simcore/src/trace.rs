@@ -141,6 +141,10 @@ pub struct SpanRecorder {
     capacity: usize,
     events: VecDeque<SpanEvent>,
     dropped: u64,
+    /// Armed crash points: `(event name, matches left before trip)`.
+    armed: Vec<(&'static str, u64)>,
+    /// Names whose counters reached zero, in trip order.
+    tripped: Vec<&'static str>,
 }
 
 impl SpanRecorder {
@@ -203,6 +207,23 @@ impl SpanRecorder {
         a: u64,
         b: u64,
     ) {
+        // Crash points fire regardless of whether the ring records: a
+        // fault campaign may want precise injection without trace memory.
+        if !self.armed.is_empty() {
+            let mut hit = false;
+            for (armed_name, left) in self.armed.iter_mut() {
+                if *armed_name == name && *left > 0 {
+                    *left -= 1;
+                    if *left == 0 {
+                        self.tripped.push(armed_name);
+                        hit = true;
+                    }
+                }
+            }
+            if hit {
+                self.armed.retain(|&(_, left)| left > 0);
+            }
+        }
         if !self.enabled {
             return;
         }
@@ -211,6 +232,37 @@ impl SpanRecorder {
             self.dropped += 1;
         }
         self.events.push_back(SpanEvent { at, dur, subsystem, name, lane, a, b });
+    }
+
+    /// Arm a crash point: the `nth` future event named `name` (1-based)
+    /// trips it. A fault-injection harness polls
+    /// [`SpanRecorder::take_crash_trips`] between operations and applies
+    /// its scheduled fault at the tripped instant — mid-destage,
+    /// mid-promotion, mid-rebuild-batch — rather than at a coarse step
+    /// boundary. Tripwires fire even while the ring itself is disabled.
+    pub fn arm_crash_point(&mut self, name: &'static str, nth: u64) {
+        if nth > 0 {
+            self.armed.push((name, nth));
+        }
+    }
+
+    /// Drain the names of crash points that have tripped since the last
+    /// call, in trip order.
+    pub fn take_crash_trips(&mut self) -> Vec<&'static str> {
+        std::mem::take(&mut self.tripped)
+    }
+
+    /// Crash points armed and not yet tripped.
+    pub fn crash_points_armed(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Clear every armed (and any already-tripped) crash point — used when
+    /// a fault harness gives up on an event (deadline) so a stale tripwire
+    /// cannot fire into a later injection.
+    pub fn disarm_crash_points(&mut self) {
+        self.armed.clear();
+        self.tripped.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -284,6 +336,24 @@ mod tests {
         assert_eq!(r.dropped(), 5, "every eviction is counted");
         let lanes: Vec<u32> = r.events().map(|e| e.lane).collect();
         assert_eq!(lanes, vec![5, 6, 7], "oldest events dropped first");
+    }
+
+    #[test]
+    fn crash_points_trip_on_the_nth_event_even_when_disabled() {
+        let mut r = SpanRecorder::disabled();
+        r.arm_crash_point("destage", 2);
+        r.arm_crash_point("promote", 1);
+        assert_eq!(r.crash_points_armed(), 2);
+        r.instant_at(SimTime(1), "cache", "destage", 0, 1, 0);
+        assert!(r.take_crash_trips().is_empty(), "first destage passes");
+        r.instant_at(SimTime(2), "cache", "miss", 0, 2, 0);
+        r.instant_at(SimTime(3), "cache", "destage", 0, 3, 0);
+        assert_eq!(r.take_crash_trips(), vec!["destage"]);
+        assert_eq!(r.crash_points_armed(), 1, "promote still armed");
+        r.instant_at(SimTime(4), "cache", "promote", 1, 4, 0);
+        assert_eq!(r.take_crash_trips(), vec!["promote"]);
+        assert_eq!(r.crash_points_armed(), 0);
+        assert!(r.is_empty(), "disabled ring recorded nothing");
     }
 
     #[test]

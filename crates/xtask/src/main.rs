@@ -3,8 +3,8 @@
 //!
 //! * `lint` — deny `unwrap()` / `expect(` in the non-test library code of
 //!   the crates whose failures must surface as typed errors (`cache`,
-//!   `virt`, `simcore`, `qos`). A panic inside those layers would take out a whole
-//!   controller blade instead of failing one request. Lines carrying an
+//!   `virt`, `simcore`, `qos`, `chaos`). A panic inside those layers would take out
+//!   a whole controller blade instead of failing one request. Lines carrying an
 //!   inline `// lint: allow` marker (for invariants that are provably
 //!   infallible) or matched by `crates/xtask/lint-allow.txt` are exempt.
 //! * `doc` — build the workspace rustdoc with warnings denied
@@ -17,8 +17,13 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 /// Crates whose library code must not panic on fallible paths.
-const LINTED_CRATES: &[&str] =
-    &["crates/cache/src", "crates/virt/src", "crates/simcore/src", "crates/qos/src"];
+const LINTED_CRATES: &[&str] = &[
+    "crates/cache/src",
+    "crates/virt/src",
+    "crates/simcore/src",
+    "crates/qos/src",
+    "crates/chaos/src",
+];
 
 /// Patterns denied outside test code.
 const DENIED: &[&str] = &[".unwrap()", ".expect("];

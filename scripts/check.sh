@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Repo hygiene gate: custom panic-lint plus clippy, both deny-by-default.
-# The panic-lint covers cache, virt, simcore, and qos library code.
+# Repo hygiene gate: custom panic-lint plus clippy, both deny-by-default,
+# plus a deterministic ys-chaos fault-campaign smoke as a tier-1 gate.
+# The panic-lint covers cache, virt, simcore, qos, and chaos library code.
 # Run from anywhere inside the repo; CI and pre-commit both call this.
 set -eu
 
@@ -18,5 +19,8 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "==> clippy unavailable in this toolchain; skipping (xtask lint still ran)"
 fi
+
+echo "==> ys-chaos fault-campaign smoke (seed 4, 64 steps)"
+cargo run -q -p ys-chaos -- --seed 4 --steps 64 --quiet
 
 echo "==> all checks passed"
