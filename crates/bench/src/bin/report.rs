@@ -10,35 +10,15 @@
 //! `--obs` appends the per-subsystem observability breakdown from an
 //! instrumented reference run; without it the output is byte-identical to
 //! the uninstrumented suite.
-
-use std::io::Write;
+//!
+//! The suite body lives in [`ys_bench::report`]; this shim only wires up
+//! stdout and the wall clock (this file is the bench crate's one
+//! wall-clock-exempt location).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let obs = args.iter().any(|a| a == "--obs");
-    let filter: Vec<String> =
-        args.iter().filter(|a| a.as_str() != "--obs").map(|s| s.to_uppercase()).collect();
+    let started = std::time::Instant::now();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let started = std::time::Instant::now();
-    let mut sections = ys_bench::experiments::all_filtered(&filter);
-    if filter.is_empty() || filter.iter().any(|f| f.starts_with('A')) {
-        let abl = ys_bench::ablations::all();
-        sections.extend(abl.into_iter().filter(|(name, _)| {
-            filter.is_empty() || filter.iter().any(|f| name.starts_with(f.as_str()))
-        }));
-    }
-    for (name, series_list) in sections {
-        writeln!(out, "================================================================").unwrap();
-        writeln!(out, "{name}").unwrap();
-        writeln!(out, "================================================================").unwrap();
-        for s in series_list {
-            write!(out, "{}", s.render("x", "y")).unwrap();
-        }
-        writeln!(out).unwrap();
-    }
-    if obs {
-        write!(out, "{}", ys_bench::obs_breakdown::breakdown()).unwrap();
-    }
-    writeln!(out, "(suite completed in {:.1?})", started.elapsed()).unwrap();
+    ys_bench::report::run_report(&mut out, &args, move || started.elapsed().as_secs_f64());
 }

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod driver;
 pub mod experiments;
 pub mod obs_breakdown;
+pub mod report;
 pub mod spec;
 
 pub use driver::{closed_loop, RunResult};

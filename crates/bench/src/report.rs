@@ -1,0 +1,34 @@
+//! The report suite body, factored out of `src/bin/report.rs` so the
+//! library stays clock-free: the binary injects an elapsed-seconds reader
+//! and the wall-clock exemption covers only that thin shim.
+
+use std::io::Write;
+
+/// Run the experiment suite (optionally filtered / with the ys-obs
+/// breakdown) and write every series to `out`. `elapsed` is sampled once
+/// for the trailing footer; pass `|| 0.0` for byte-stable output.
+pub fn run_report(out: &mut impl Write, args: &[String], elapsed: impl Fn() -> f64) {
+    let obs = args.iter().any(|a| a == "--obs");
+    let filter: Vec<String> =
+        args.iter().filter(|a| a.as_str() != "--obs").map(|s| s.to_uppercase()).collect();
+    let mut sections = crate::experiments::all_filtered(&filter);
+    if filter.is_empty() || filter.iter().any(|f| f.starts_with('A')) {
+        let abl = crate::ablations::all();
+        sections.extend(abl.into_iter().filter(|(name, _)| {
+            filter.is_empty() || filter.iter().any(|f| name.starts_with(f.as_str()))
+        }));
+    }
+    for (name, series_list) in sections {
+        writeln!(out, "================================================================").unwrap();
+        writeln!(out, "{name}").unwrap();
+        writeln!(out, "================================================================").unwrap();
+        for s in series_list {
+            write!(out, "{}", s.render("x", "y")).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    if obs {
+        write!(out, "{}", crate::obs_breakdown::breakdown()).unwrap();
+    }
+    writeln!(out, "(suite completed in {:.1}s)", elapsed()).unwrap();
+}

@@ -14,7 +14,7 @@
 
 use crate::directory::{DirEntry, Directory, PageKey, PageState};
 use crate::lru::{LruList, Retention};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ys_simcore::SpanRecorder;
 
 /// Why a page occupies a blade's cache.
@@ -37,7 +37,9 @@ pub(crate) struct PageMeta {
 pub(crate) struct BladeSlot {
     pub(crate) capacity_pages: usize,
     pub(crate) lru: LruList<PageKey>,
-    pub(crate) pages: HashMap<PageKey, PageMeta>,
+    /// Ordered so that blade-failure sweeps (and the FailureReport they
+    /// build) visit pages in key order, independent of any hasher seed.
+    pub(crate) pages: BTreeMap<PageKey, PageMeta>,
     pub(crate) up: bool,
 }
 
@@ -183,7 +185,7 @@ impl CacheCluster {
                 .map(|_| BladeSlot {
                     capacity_pages: capacity_pages_per_blade,
                     lru: LruList::new(),
-                    pages: HashMap::new(),
+                    pages: BTreeMap::new(),
                     up: true,
                 })
                 .collect(),
@@ -562,7 +564,8 @@ impl CacheCluster {
             return report;
         }
         self.blades[blade].up = false;
-        let held: Vec<(PageKey, PageMeta)> = self.blades[blade].pages.drain().collect();
+        let held: Vec<(PageKey, PageMeta)> =
+            std::mem::take(&mut self.blades[blade].pages).into_iter().collect();
         self.blades[blade].lru = LruList::new();
 
         for (key, meta) in held {

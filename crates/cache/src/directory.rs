@@ -5,7 +5,7 @@
 //! home's directory entry records the set of sharers, the exclusive owner
 //! (if modified), the write version, and where dirty replicas live (§6.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Global cache-page key: (volume, page index within volume).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -67,14 +67,16 @@ impl DirEntry {
 #[derive(Clone, Debug)]
 pub struct Directory {
     blades: usize,
-    entries: HashMap<PageKey, DirEntry>,
+    /// Ordered: [`Directory::iter`] feeds the ys-chaos recovery oracle and
+    /// destage scans, so its order must not depend on a hasher seed.
+    entries: BTreeMap<PageKey, DirEntry>,
     shard_lookups: Vec<u64>,
 }
 
 impl Directory {
     pub fn new(blades: usize) -> Directory {
         assert!(blades > 0);
-        Directory { blades, entries: HashMap::new(), shard_lookups: vec![0; blades] }
+        Directory { blades, entries: BTreeMap::new(), shard_lookups: vec![0; blades] }
     }
 
     pub fn blades(&self) -> usize {
@@ -108,6 +110,7 @@ impl Directory {
         &self.shard_lookups
     }
 
+    /// Iterate entries in page-key order (deterministic across runs).
     pub fn iter(&self) -> impl Iterator<Item = (&PageKey, &DirEntry)> {
         self.entries.iter()
     }

@@ -5,22 +5,25 @@
 //! counts accesses per key per accessor with exponential decay, and reports
 //! keys hot at more than one accessor.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 use ys_simcore::time::SimTime;
 
 /// Exponentially-decayed access counter per (key, accessor).
+///
+/// Keys are `Ord` (not `Hash`): [`HeatTracker::hot_accessors`] iterates the
+/// map, and replication triggers fired from it must not depend on a
+/// process-random hasher seed.
 #[derive(Clone, Debug)]
-pub struct HeatTracker<K: Eq + Hash + Clone> {
+pub struct HeatTracker<K: Ord + Clone> {
     /// Decay half-life.
     half_life_secs: f64,
-    entries: HashMap<(K, usize), (f64, SimTime)>,
+    entries: BTreeMap<(K, usize), (f64, SimTime)>,
 }
 
-impl<K: Eq + Hash + Clone> HeatTracker<K> {
+impl<K: Ord + Clone> HeatTracker<K> {
     pub fn new(half_life_secs: f64) -> HeatTracker<K> {
         assert!(half_life_secs > 0.0);
-        HeatTracker { half_life_secs, entries: HashMap::new() }
+        HeatTracker { half_life_secs, entries: BTreeMap::new() }
     }
 
     fn decayed(&self, value: f64, since: SimTime, now: SimTime) -> f64 {

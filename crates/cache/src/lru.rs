@@ -4,7 +4,7 @@
 //! file (§4), so the recency list is split into bands: eviction always
 //! drains the lowest band's tail before touching higher bands.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: allow(unordered-iteration) — see `index` field
 use std::hash::Hash;
 
 /// Cache retention priority (§4 extended metadata). Order matters:
@@ -40,7 +40,9 @@ struct BandList {
 pub struct LruList<K: Eq + Hash + Clone> {
     slab: Vec<Node<K>>,
     free: Vec<usize>,
-    index: HashMap<K, usize>,
+    /// Lookup-only: recency order lives in the slab links, and nothing ever
+    /// iterates this map, so the hasher seed cannot leak into replay.
+    index: HashMap<K, usize>, // lint: allow(unordered-iteration)
     bands: [BandList; BANDS],
 }
 
@@ -55,7 +57,7 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         LruList {
             slab: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::new(), // lint: allow(unordered-iteration) — lookup-only, never iterated
             bands: [BandList::default(); BANDS],
         }
     }

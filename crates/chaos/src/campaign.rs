@@ -228,7 +228,7 @@ impl Campaign {
         // Workload files: two per site; site-0 files replicate async so the
         // geo path is always in play.
         if let Err(e) = ns.fs.mkdir("/camp", None) {
-            panic!("campaign setup: mkdir /camp: {e}");
+            panic!("campaign setup: mkdir /camp: {e}"); // lint: allow(panic-path) — harness setup, not simulated fault path
         }
         let mut files = Vec::new();
         for site in 0..sites {
@@ -242,7 +242,7 @@ impl Campaign {
                 let path = format!("/camp/s{site}f{f}.dat");
                 match ns.create_file(&path, policy, SiteId(site)) {
                     Ok(ino) => files.push((ino, site)),
-                    Err(e) => panic!("campaign setup: create {path}: {e}"),
+                    Err(e) => panic!("campaign setup: create {path}: {e}"), // lint: allow(panic-path) — harness setup
                 }
             }
         }
@@ -266,11 +266,11 @@ impl Campaign {
                                 1,
                                 ys_cache::Retention::Normal,
                             ) {
-                                panic!("campaign setup: probe fill: {e}");
+                                panic!("campaign setup: probe fill: {e}"); // lint: allow(panic-path) — harness setup
                             }
                             row.push((tenant, vol));
                         }
-                        Err(e) => panic!("campaign setup: probe volume: {e}"),
+                        Err(e) => panic!("campaign setup: probe volume: {e}"), // lint: allow(panic-path) — harness setup
                     }
                 }
                 ns.clusters[site].drain();

@@ -11,6 +11,7 @@ ys-chaos: deterministic fault-campaign harness
 
 USAGE:
     ys-chaos [--seed N] [--steps N] [--fatal] [--keep i,j,k] [--quiet]
+             [--double-run]
 
 OPTIONS:
     --seed N      Campaign seed (default 4). Schedule, workload, and
@@ -22,6 +23,10 @@ OPTIONS:
     --keep i,j,k  Replay only the schedule entries with these original
                   indices (what a shrunk counterexample prints).
     --quiet       Only the verdict line and, on failure, the reproducer.
+    --double-run  Run the identical campaign twice in one process and fail
+                  unless the transcripts are byte-identical. Catches replay
+                  nondeterminism (hasher-seeded iteration, ambient entropy)
+                  that a single run can never see.
     -h, --help    This help.
 
 A failing campaign prints a minimal reproducing schedule and the exact
@@ -33,11 +38,18 @@ struct Args {
     fatal: bool,
     keep: Option<Vec<usize>>,
     quiet: bool,
+    double_run: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { seed: 4, steps: 64, fatal: false, keep: None, quiet: false };
+    let mut args = Args {
+        seed: 4,
+        steps: 64,
+        fatal: false,
+        keep: None,
+        quiet: false,
+        double_run: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
                 args.keep = Some(keep);
             }
             "--quiet" => args.quiet = true,
+            "--double-run" => args.double_run = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -75,6 +88,67 @@ fn replay_command(args: &Args, schedule: &CampaignSchedule) -> String {
     format!("{cmd} --keep {}", kept.join(","))
 }
 
+/// What one full campaign printed and decided.
+struct CampaignRun {
+    /// Everything a non-quiet run prints before the verdict line.
+    transcript: String,
+    /// The shrunk-reproducer portion alone (empty when the run passed) —
+    /// quiet mode still prints this.
+    reproducer: String,
+    /// Did the campaign meet its promise?
+    ok: bool,
+}
+
+/// One full campaign from scratch. Every run regenerates schedule and
+/// state, so two calls share nothing but the seed — exactly what a
+/// cross-process replay sees.
+fn run_campaign(args: &Args) -> CampaignRun {
+    use std::fmt::Write as _;
+    let cfg = CampaignConfig {
+        seed: args.seed,
+        steps: args.steps,
+        fatal: args.fatal,
+        ..CampaignConfig::default()
+    };
+    let full = CampaignSchedule::generate(&cfg);
+    let schedule = match &args.keep {
+        Some(keep) => full.keep(keep),
+        None => full,
+    };
+    let mut transcript = String::new();
+    let _ = writeln!(transcript, "schedule ({} entries):", schedule.entries.len());
+    transcript.push_str(&schedule.render());
+    let report = run_with_schedule(&cfg, schedule);
+    transcript.push_str(&report.render());
+
+    let failed = !report.passed();
+    let mut reproducer = String::new();
+    if failed {
+        let (minimal, runs) = minimize(&cfg, &report.schedule);
+        let _ = writeln!(
+            reproducer,
+            "counterexample: {} of {} injections suffice ({} shrink runs)",
+            minimal.entries.len(),
+            report.schedule.entries.len(),
+            runs
+        );
+        for e in &minimal.entries {
+            let _ = writeln!(reproducer, "  {e}");
+        }
+        let _ = writeln!(reproducer, "replay: {}", replay_command(args, &minimal));
+        transcript.push_str(&reproducer);
+    }
+
+    let ok = if args.fatal {
+        // Fatal mode: the harness passes by FINDING the loss.
+        report.violations.iter().any(|v| v.rule == "acked-write-lost")
+            && report.violations.iter().all(|v| v.rule != "loss-within-budget")
+    } else {
+        !failed
+    };
+    CampaignRun { transcript, reproducer, ok }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -88,48 +162,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = CampaignConfig {
-        seed: args.seed,
-        steps: args.steps,
-        fatal: args.fatal,
-        ..CampaignConfig::default()
-    };
-    let full = CampaignSchedule::generate(&cfg);
-    let schedule = match &args.keep {
-        Some(keep) => full.keep(keep),
-        None => full,
-    };
-    if !args.quiet {
-        println!("schedule ({} entries):", schedule.entries.len());
-        print!("{}", schedule.render());
-    }
-    let report = run_with_schedule(&cfg, schedule);
-    if !args.quiet {
-        print!("{}", report.render());
-    }
-
-    let failed = !report.passed();
-    if failed {
-        let (minimal, runs) = minimize(&cfg, &report.schedule);
-        println!(
-            "counterexample: {} of {} injections suffice ({} shrink runs)",
-            minimal.entries.len(),
-            report.schedule.entries.len(),
-            runs
-        );
-        for e in &minimal.entries {
-            println!("  {e}");
-        }
-        println!("replay: {}", replay_command(&args, &minimal));
-    }
-
-    let ok = if args.fatal {
-        // Fatal mode: the harness passes by FINDING the loss.
-        report.violations.iter().any(|v| v.rule == "acked-write-lost")
-            && report.violations.iter().all(|v| v.rule != "loss-within-budget")
+    let run = run_campaign(&args);
+    if args.quiet {
+        print!("{}", run.reproducer);
     } else {
-        !failed
-    };
+        print!("{}", run.transcript);
+    }
+
+    let mut deterministic = true;
+    if args.double_run {
+        let second = run_campaign(&args);
+        deterministic = second.transcript == run.transcript;
+        if deterministic {
+            println!(
+                "ys-chaos: double-run transcripts byte-identical ({} bytes)",
+                run.transcript.len()
+            );
+        } else {
+            let byte = run
+                .transcript
+                .bytes()
+                .zip(second.transcript.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(run.transcript.len().min(second.transcript.len()));
+            println!(
+                "ys-chaos: DOUBLE-RUN MISMATCH: transcripts diverge at byte {byte} \
+                 ({} vs {} bytes) — replay determinism is broken",
+                run.transcript.len(),
+                second.transcript.len()
+            );
+        }
+    }
+
+    let ok = run.ok && deterministic;
     println!(
         "ys-chaos: seed {} {}",
         args.seed,

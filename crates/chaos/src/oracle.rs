@@ -19,7 +19,7 @@
 //! * **QoS** — under degradation, sheds land only on classes configured to
 //!   absorb them; `Premium` is never shed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ys_cache::PageKey;
 use ys_core::BladeCluster;
 
@@ -53,7 +53,9 @@ struct Budget {
 /// directory between operations.
 #[derive(Clone, Debug, Default)]
 pub struct SiteShadow {
-    budgets: HashMap<PageKey, Budget>,
+    /// Ordered: budget refresh and verdict sweeps iterate this map, and
+    /// oracle verdict order must match across same-seed replays.
+    budgets: BTreeMap<PageKey, Budget>,
 }
 
 impl SiteShadow {

@@ -1,0 +1,53 @@
+//! Same-seed double-run byte-identity: the property ys-lint exists to
+//! protect, asserted end-to-end. Two campaigns that share nothing but the
+//! seed must render byte-identical transcripts — any hasher-seeded
+//! iteration order or ambient entropy on a replay path shows up here as a
+//! diff, because every `HashMap` instance draws a fresh `RandomState`.
+
+use ys_chaos::{run_campaign, run_with_schedule, CampaignConfig, CampaignSchedule};
+
+fn transcript(cfg: &CampaignConfig) -> String {
+    let schedule = CampaignSchedule::generate(cfg);
+    let mut out = format!("schedule ({} entries):\n", schedule.entries.len());
+    out.push_str(&schedule.render());
+    out.push_str(&run_with_schedule(cfg, schedule).render());
+    out
+}
+
+#[test]
+fn same_seed_double_run_is_byte_identical() {
+    for seed in [4, 7, 1999] {
+        let cfg = CampaignConfig { seed, steps: 64, ..CampaignConfig::default() };
+        let first = transcript(&cfg);
+        let second = transcript(&cfg);
+        assert!(!first.is_empty());
+        assert_eq!(
+            first, second,
+            "seed {seed}: same-seed transcripts diverged — replay determinism broken"
+        );
+    }
+}
+
+#[test]
+fn fatal_double_run_is_byte_identical() {
+    let cfg = CampaignConfig { seed: 4, steps: 48, fatal: true, ..CampaignConfig::default() };
+    assert_eq!(transcript(&cfg), transcript(&cfg));
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guard against the comparison passing vacuously (e.g. empty renders).
+    let a = CampaignConfig { seed: 4, steps: 64, ..CampaignConfig::default() };
+    let b = CampaignConfig { seed: 5, steps: 64, ..CampaignConfig::default() };
+    assert_ne!(transcript(&a), transcript(&b));
+}
+
+#[test]
+fn report_objects_agree_not_just_render() {
+    let cfg = CampaignConfig { seed: 11, steps: 64, ..CampaignConfig::default() };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.passed(), b.passed());
+    assert_eq!(a.acked_verified, b.acked_verified);
+    assert_eq!(a.render(), b.render());
+}

@@ -15,7 +15,6 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// A checkable system: apply ops, audit state, canonicalize for dedup.
 pub trait Model: Clone {
@@ -100,8 +99,22 @@ fn trace_to<Op: Copy>(nodes: &[Node<Op>], mut idx: usize, last: Op) -> Vec<Op> {
 }
 
 /// Run a bounded exploration from `initial`.
+///
+/// Library code reads no clock: `elapsed_secs` is 0.0 here. Binaries that
+/// want wall-clock reporting inject a timer via [`explore_timed`], keeping
+/// the wall-clock exemption confined to the CLI entry point.
 pub fn explore<M: Model>(initial: M, limits: Limits, order: SearchOrder) -> Exploration<M::Op> {
-    let started = Instant::now();
+    explore_timed(initial, limits, order, || 0.0)
+}
+
+/// [`explore`] with an injected elapsed-seconds reader, sampled once at
+/// whichever exit path ends the exploration.
+pub fn explore_timed<M: Model>(
+    initial: M,
+    limits: Limits,
+    order: SearchOrder,
+    elapsed: impl Fn() -> f64,
+) -> Exploration<M::Op> {
     let ops = initial.enumerate_ops();
 
     // node index → (parent, op) for trace reconstruction; states themselves
@@ -153,14 +166,14 @@ pub fn explore<M: Model>(initial: M, limits: Limits, order: SearchOrder) -> Expl
                         trace: trace_to(&nodes, node_idx, op),
                         violations: vec![format!("panic: {msg}")],
                     });
-                    out.elapsed_secs = started.elapsed().as_secs_f64();
+                    out.elapsed_secs = elapsed();
                     return out;
                 }
             };
             if !violations.is_empty() {
                 out.counterexample =
                     Some(Counterexample { trace: trace_to(&nodes, node_idx, op), violations });
-                out.elapsed_secs = started.elapsed().as_secs_f64();
+                out.elapsed_secs = elapsed();
                 return out;
             }
 
@@ -188,7 +201,7 @@ pub fn explore<M: Model>(initial: M, limits: Limits, order: SearchOrder) -> Expl
                 out.deepest = out.deepest.max(depth + 1);
                 if out.states_visited >= limits.max_states {
                     out.truncated = true;
-                    out.elapsed_secs = started.elapsed().as_secs_f64();
+                    out.elapsed_secs = elapsed();
                     return out;
                 }
                 if budget > 0 {
@@ -199,7 +212,7 @@ pub fn explore<M: Model>(initial: M, limits: Limits, order: SearchOrder) -> Expl
         }
     }
 
-    out.elapsed_secs = started.elapsed().as_secs_f64();
+    out.elapsed_secs = elapsed();
     out
 }
 

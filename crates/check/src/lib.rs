@@ -30,7 +30,7 @@ pub mod qos_model;
 pub mod virt_model;
 
 pub use cache_model::{render_trace, CacheModel, Op, Scope};
-pub use explore::{explore, Counterexample, Exploration, Limits, Model, SearchOrder};
+pub use explore::{explore, explore_timed, Counterexample, Exploration, Limits, Model, SearchOrder};
 pub use failover_model::{render_failover_trace, FailoverModel, FailoverOp, FailoverScope};
 pub use hash::StateHasher;
 pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};

@@ -13,10 +13,17 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore, render_failover_trace, render_qos_trace, render_trace, render_virt_trace, CacheModel,
-    Exploration, FailoverModel, FailoverScope, Limits, QosModel, QosScope, Scope, SearchOrder,
-    VirtModel, VirtScope,
+    explore_timed, render_failover_trace, render_qos_trace, render_trace, render_virt_trace,
+    CacheModel, Exploration, FailoverModel, FailoverScope, Limits, QosModel, QosScope, Scope,
+    SearchOrder, VirtModel, VirtScope,
 };
+
+/// Wall-clock reader injected into [`explore_timed`]. The library stays
+/// clock-free; this binary is the one place allowed to touch real time.
+fn wall_timer() -> impl Fn() -> f64 {
+    let started = std::time::Instant::now();
+    move || started.elapsed().as_secs_f64()
+}
 
 struct Args {
     blades: usize,
@@ -125,7 +132,7 @@ fn main() -> ExitCode {
             n_way: args.n_way,
             capacity_pages: args.capacity,
         };
-        let result = explore(FailoverModel::new(scope), limits, args.order);
+        let result = explore_timed(FailoverModel::new(scope), limits, args.order, wall_timer());
         report(
             &format!(
                 "failover model, {} blades × {} pages, {}-way writes, depth {}",
@@ -140,7 +147,7 @@ fn main() -> ExitCode {
         }
     } else if args.qos {
         let scope = QosScope::small();
-        let result = explore(QosModel::new(scope), limits, args.order);
+        let result = explore_timed(QosModel::new(scope), limits, args.order, wall_timer());
         report(
             &format!(
                 "QoS admission model, 2 tenants, quantum {} us, depth {}",
@@ -156,7 +163,7 @@ fn main() -> ExitCode {
         }
     } else if args.virt {
         let scope = VirtScope::small();
-        let result = explore(VirtModel::new(scope), limits, args.order);
+        let result = explore_timed(VirtModel::new(scope), limits, args.order, wall_timer());
         report(
             &format!(
                 "DMSD model, {} volumes × {} extents over a {}-extent pool, depth {}",
@@ -176,7 +183,7 @@ fn main() -> ExitCode {
             n_way: args.n_way,
             capacity_pages: args.capacity,
         };
-        let result = explore(CacheModel::new(scope), limits, args.order);
+        let result = explore_timed(CacheModel::new(scope), limits, args.order, wall_timer());
         report(
             &format!(
                 "cache model, {} blades × {} pages, {}-way writes, depth {}",

@@ -141,9 +141,11 @@ pub struct BladeCluster {
     rr_next: usize,
     pending: BinaryHeap<Reverse<(u64, u32, u64, u64)>>, // (time, vol, page, version)
     /// In-flight prefetches: (vol, page) → (disk arrival ns, blade).
-    inflight_fills: std::collections::HashMap<(u32, u64), (u64, usize)>,
+    /// Ordered: `advance` sweeps this map to land fills, and the landing
+    /// order must be the same on every replay of a seed.
+    inflight_fills: std::collections::BTreeMap<(u32, u64), (u64, usize)>,
     /// Last sequential position per (client, volume), for readahead.
-    seq_cursor: std::collections::HashMap<(usize, u32), u64>,
+    seq_cursor: std::collections::BTreeMap<(usize, u32), u64>,
     failed_disks: Vec<bool>,
     /// Multi-tenant admission control + SLO tracking (`ys-qos`).
     qos: AdmissionController,
@@ -182,8 +184,8 @@ impl BladeCluster {
             cpus: (0..cfg.blades).map(|_| Link::new(cpu_spec)).collect(),
             rr_next: 0,
             pending: BinaryHeap::new(),
-            inflight_fills: std::collections::HashMap::new(),
-            seq_cursor: std::collections::HashMap::new(),
+            inflight_fills: std::collections::BTreeMap::new(),
+            seq_cursor: std::collections::BTreeMap::new(),
             failed_disks: vec![false; total_disks],
             qos: AdmissionController::new(cfg.qos.clone()),
             stats: ClusterStats::default(),

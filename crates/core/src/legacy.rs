@@ -14,7 +14,7 @@
 //! * replication only at whole-volume granularity (§7.2).
 
 use crate::config::CostModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ys_cache::{LruList, PageKey, Retention};
 use ys_raid::{Geometry, RaidLevel};
 use ys_simcore::stats::{LatencyHisto, RateMeter};
@@ -61,8 +61,9 @@ impl Default for LegacyConfig {
 
 struct ControllerState {
     lru: LruList<PageKey>,
-    /// page → (dirty, version)
-    pages: HashMap<PageKey, (bool, u64)>,
+    /// page → (dirty, version). Ordered so controller-failure sweeps are
+    /// replay-deterministic.
+    pages: BTreeMap<PageKey, (bool, u64)>,
     up: bool,
 }
 
@@ -98,7 +99,7 @@ impl LegacyArray {
         let cpu_spec = LinkSpec::new(cfg.cost.cache_copy, SimDuration::ZERO, cfg.cost.per_io);
         LegacyArray {
             controllers: (0..cfg.controllers)
-                .map(|_| ControllerState { lru: LruList::new(), pages: HashMap::new(), up: true })
+                .map(|_| ControllerState { lru: LruList::new(), pages: BTreeMap::new(), up: true })
                 .collect(),
             farm: DiskFarm::new(cfg.disks, cfg.disk_spec),
             raid,
@@ -265,7 +266,8 @@ impl LegacyArray {
             return 0;
         }
         self.controllers[c].up = false;
-        let held: Vec<(PageKey, (bool, u64))> = self.controllers[c].pages.drain().collect();
+        let held: Vec<(PageKey, (bool, u64))> =
+            std::mem::take(&mut self.controllers[c].pages).into_iter().collect();
         self.controllers[c].lru = LruList::new();
         let mut lost = 0;
         for (key, (dirty, version)) in held {

@@ -9,7 +9,7 @@
 //! multiple locations and automatically replicate copies."
 
 use crate::topology::{SiteId, SiteTopology};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use ys_cache::HeatTracker;
 use ys_simcore::time::SimTime;
 
@@ -29,7 +29,9 @@ pub enum AccessKind {
 /// Residency + heat state for the distributed namespace.
 #[derive(Clone, Debug)]
 pub struct DistributedAccess {
-    residency: HashMap<u64, BTreeSet<SiteId>>,
+    /// Ordered: site-destruction sweeps iterate residency, and the
+    /// surviving-copy audit must be replay-deterministic.
+    residency: BTreeMap<u64, BTreeSet<SiteId>>,
     heat: HeatTracker<u64>,
     hot_threshold: f64,
 }
@@ -37,7 +39,7 @@ pub struct DistributedAccess {
 impl DistributedAccess {
     pub fn new(heat_half_life_secs: f64, hot_threshold: f64) -> DistributedAccess {
         DistributedAccess {
-            residency: HashMap::new(),
+            residency: BTreeMap::new(),
             heat: HeatTracker::new(heat_half_life_secs),
             hot_threshold,
         }

@@ -7,7 +7,7 @@
 //! here preserves exactly that semantics so E9 can measure the window.
 
 use crate::topology::SiteId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use ys_simcore::time::SimTime;
 use ys_simcore::SpanRecorder;
 
@@ -48,7 +48,9 @@ struct Journal {
 /// The engine: one journal per (source, destination) site pair.
 #[derive(Clone, Debug)]
 pub struct ReplicationEngine {
-    journals: HashMap<(SiteId, SiteId), Journal>,
+    /// Ordered: `advance` walks every journal per step, and WAN-loss
+    /// accounting must visit site pairs in the same order on every replay.
+    journals: BTreeMap<(SiteId, SiteId), Journal>,
     next_seq: u64,
     /// Sync replication counters (latency is charged by the orchestrator).
     sync_writes: u64,
@@ -65,7 +67,7 @@ impl Default for ReplicationEngine {
 impl ReplicationEngine {
     pub fn new() -> ReplicationEngine {
         ReplicationEngine {
-            journals: HashMap::new(),
+            journals: BTreeMap::new(),
             next_seq: 0,
             sync_writes: 0,
             sync_bytes: 0,

@@ -1,0 +1,17 @@
+//! Fixture: marker hygiene. Bad markers are findings in any crate.
+
+pub fn bare_marker_fires() -> u32 {
+    let x = 1; // lint: allow — unscoped: which rule is being waived?
+    x
+}
+
+pub fn unknown_rule_fires() -> u32 {
+    let y = 2; // lint: allow(made-up-rule)
+    y
+}
+
+/// Doc comments *describing* the `lint: allow(rule)` syntax are prose,
+/// not markers, and must not be parsed as either suppression or finding.
+pub fn doc_comment_is_not_marker() -> u32 {
+    3
+}

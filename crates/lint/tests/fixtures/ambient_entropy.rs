@@ -1,0 +1,28 @@
+//! Fixture: ambient entropy sources. Fed under a sim-crate path (fires)
+//! and an entropy-exempt tooling path (clean).
+
+use rand::Rng;
+
+pub fn random_state_fires() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+pub fn rand_path_fires() -> u32 {
+    rand::random()
+}
+
+pub fn thread_spawn_fires() {
+    std::thread::spawn(|| {});
+}
+
+pub fn method_spawn_fires(pool: &ThreadPool) {
+    pool.spawn(|| {});
+}
+
+pub fn parallelism_fires() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub fn spawn_allowed() {
+    std::thread::spawn(|| {}); // lint: allow(ambient-entropy) — fixture
+}

@@ -1,0 +1,16 @@
+//! Fixture: trigger spellings inside strings and comments. Fed under the
+//! most heavily scoped path (cache: panic + replay + entropy) — the
+//! token-aware analyzer must report nothing at all.
+
+pub fn no_findings() -> &'static str {
+    // .unwrap() in a comment is fine; so are panic!() and Instant::now().
+    let s = "calling .unwrap() or HashMap::new() in a string";
+    let r = r#"raw string with .expect("x") and thread::spawn"#;
+    let b = b"byte string with RandomState";
+    /* block comment: SystemTime::now().unwrap()
+       /* nested: rand::random() */ still inside the comment */
+    let lifetime_not_char: &'static [u8] = b;
+    let c = 'x';
+    let _ = (s, r, lifetime_not_char, c);
+    "ok"
+}

@@ -1,0 +1,24 @@
+//! Fixture: hash-ordered containers. Fed under a replay-affecting crate
+//! path (fires) and a replay-neutral path (clean).
+
+use std::collections::HashMap;
+
+pub struct Table {
+    pub rows: HashMap<u64, u64>,
+}
+
+pub fn hash_set_fires() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}
+
+pub fn allowed() {
+    let _m: HashMap<u8, u8> = HashMap::new(); // lint: allow(unordered-iteration) — lookup-only fixture
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: host-clock reads. Fed under a non-exempt path (fires) and an
+//! exempt binary path (clean).
+
+pub fn instant_fires() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn system_time_fires() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+pub fn instant_allowed() -> f64 {
+    let started = std::time::Instant::now(); // lint: allow(wall-clock) — fixture
+    started.elapsed().as_secs_f64()
+}
+
+pub fn prose_is_fine() -> &'static str {
+    // Instant and SystemTime in a comment are not findings...
+    "...nor is Instant::now() inside a string"
+}

@@ -114,7 +114,7 @@ impl TenantState {
             }
         }
         self.open
-            + u32::try_from(self.completions.len()).unwrap_or(u32::MAX) // lint: allow — saturating fallback
+            + u32::try_from(self.completions.len()).unwrap_or(u32::MAX) // saturating fallback
     }
 }
 

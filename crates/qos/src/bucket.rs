@@ -54,7 +54,7 @@ impl TokenBucket {
         let dt = u128::from(now.since(self.last).nanos());
         let num = dt * u128::from(self.rate_bytes_per_sec) + u128::from(self.frac);
         let add = num / NANOS_PER_SEC;
-        let added = self.tokens.saturating_add(u64::try_from(add).unwrap_or(u64::MAX)); // lint: allow — saturating fallback
+        let added = self.tokens.saturating_add(u64::try_from(add).unwrap_or(u64::MAX)); // saturating fallback
         if added >= self.burst {
             self.tokens = self.burst;
             self.frac = 0;
@@ -82,7 +82,7 @@ impl TokenBucket {
         let wait_ns = deficit.div_ceil(rate);
         // Tokens and frac are as of `self.last`, which a delayed take may
         // have pushed beyond `now` — the wait accrues from there.
-        self.last + SimDuration::from_nanos(u64::try_from(wait_ns).unwrap_or(u64::MAX)) // lint: allow — saturating fallback
+        self.last + SimDuration::from_nanos(u64::try_from(wait_ns).unwrap_or(u64::MAX)) // saturating fallback
     }
 
     /// Take `bytes` tokens at `at` (refilling first). Returns false — and

@@ -11,7 +11,7 @@
 
 use crate::layout::Geometry;
 use crate::plan::{IoPlan, MemberIo};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ys_simcore::SpanRecorder;
 
 /// A contiguous range of stripe rows `[start, end)`.
@@ -63,7 +63,8 @@ pub struct RebuildCoordinator {
     /// Batches returned by failed workers, served before the frontier.
     requeued: Vec<RowBatch>,
     /// Outstanding claims per worker.
-    claims: HashMap<usize, RowBatch>,
+    /// Ordered: progress audits iterate outstanding claims by worker id.
+    claims: BTreeMap<usize, RowBatch>,
     completed_rows: u64,
     /// Ledger of completed batches, for the exact-once coverage audit.
     completed: Vec<RowBatch>,
@@ -81,7 +82,7 @@ impl RebuildCoordinator {
             total_rows: member_capacity / geo.chunk_size,
             next_row: 0,
             requeued: Vec::new(),
-            claims: HashMap::new(),
+            claims: BTreeMap::new(),
             completed_rows: 0,
             completed: Vec::new(),
             trace: SpanRecorder::disabled(),

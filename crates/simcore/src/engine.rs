@@ -57,8 +57,8 @@ pub struct Engine<E> {
     seq: u64,
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Seqs scheduled but not yet popped or cancelled.
-    pending_set: std::collections::HashSet<u64>,
-    cancelled: std::collections::HashSet<u64>,
+    pending_set: std::collections::BTreeSet<u64>,
+    cancelled: std::collections::BTreeSet<u64>,
     dispatched: u64,
 }
 
@@ -74,8 +74,8 @@ impl<E: Eq> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            pending_set: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            pending_set: std::collections::BTreeSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             dispatched: 0,
         }
     }

@@ -6,8 +6,9 @@
 
 use crate::time::SimTime;
 
-/// What kind of component fails.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// What kind of component fails. `Ord` so plans can track targets in
+/// ordered sets (replay-deterministic iteration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FaultTarget {
     /// A controller blade, by cluster-wide index.
     Blade(usize),
@@ -85,7 +86,7 @@ impl FaultPlan {
     /// target must be preceded by a `Fail` of the same target that has not
     /// already been repaired. Returns the offending events (empty = valid).
     pub fn validate(&self) -> Vec<FaultEvent> {
-        let mut down = std::collections::HashSet::new();
+        let mut down = std::collections::BTreeSet::new();
         let mut bad = Vec::new();
         for ev in self.sorted() {
             match ev.kind {
@@ -104,7 +105,7 @@ impl FaultPlan {
 
     /// Number of distinct blades this plan ever fails.
     pub fn failed_blades(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for e in &self.events {
             if e.kind == FaultKind::Fail {
                 if let FaultTarget::Blade(b) = e.target {
@@ -124,7 +125,7 @@ pub struct Availability {
     sites: Vec<bool>,
     /// Partitioned inter-site links, stored order-normalized so a repair of
     /// `Link(b, a)` heals a failure of `Link(a, b)`.
-    down_links: std::collections::HashSet<(usize, usize)>,
+    down_links: std::collections::BTreeSet<(usize, usize)>,
 }
 
 fn norm_link(a: usize, b: usize) -> (usize, usize) {
@@ -141,7 +142,7 @@ impl Availability {
             blades: vec![true; blades],
             disks: vec![true; disks],
             sites: vec![true; sites],
-            down_links: std::collections::HashSet::new(),
+            down_links: std::collections::BTreeSet::new(),
         }
     }
 
@@ -180,11 +181,10 @@ impl Availability {
         !self.down_links.contains(&norm_link(a, b))
     }
 
-    /// Currently partitioned links, order-normalized and sorted.
+    /// Currently partitioned links, order-normalized and sorted (the
+    /// backing set is ordered, so collection order is already stable).
     pub fn down_links(&self) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> = self.down_links.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.down_links.iter().copied().collect()
     }
 
     pub fn up_blades(&self) -> impl Iterator<Item = usize> + '_ {

@@ -32,17 +32,19 @@ where
     for pair in inputs.into_iter().enumerate() {
         // Infallible: `rx` is alive in this scope, so the channel cannot be
         // disconnected; a panic here would mean the invariant broke.
-        tx.send(pair).expect("send to open channel"); // lint: allow
+        tx.send(pair).expect("send to open channel"); // lint: allow(panic-path) — infallible, see above
     }
     drop(tx);
 
     let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
+    // Worker threads are a throughput detail: results land in index order
+    // regardless of completion order, so parallelism never reaches replay.
+    std::thread::scope(|scope| { // lint: allow(ambient-entropy)
         for _ in 0..threads {
             let rx = rx.clone();
             let results = &results;
             let f = &f;
-            scope.spawn(move || {
+            scope.spawn(move || { // lint: allow(ambient-entropy) — see scope note
                 while let Ok((idx, input)) = rx.recv() {
                     let out = f(&input);
                     results.lock()[idx] = Some(out);
@@ -55,14 +57,14 @@ where
         .into_iter()
         // Infallible: every index 0..n was queued exactly once and a worker
         // panic would already have propagated out of `thread::scope`.
-        .map(|o| o.expect("worker produced every slot")) // lint: allow
+        .map(|o| o.expect("worker produced every slot")) // lint: allow(panic-path) — infallible, see above
         .collect()
 }
 
 /// Default worker count: the machine's parallelism, bounded to something
 /// polite for shared boxes.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16) // lint: allow(ambient-entropy) — thread count, not replay state
 }
 
 #[cfg(test)]

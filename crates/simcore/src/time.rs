@@ -112,7 +112,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // lint: allow(panic-path) — checked_ arithmetic; overflow is a sim-config bug
     }
 }
 
@@ -125,14 +125,14 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs later than lhs"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs later than lhs")) // lint: allow(panic-path) — checked_ arithmetic; caller must order operands
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // lint: allow(panic-path) — checked_ arithmetic; overflow is a sim-config bug
     }
 }
 
@@ -145,7 +145,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow")) // lint: allow(panic-path) — checked_ arithmetic; caller must order operands
     }
 }
 
@@ -158,7 +158,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow")) // lint: allow(panic-path) — checked_ arithmetic; overflow is a sim-config bug
     }
 }
 

@@ -116,7 +116,7 @@ impl FairPort {
                 .iter()
                 .map(|p| p.ready)
                 .min()
-                .unwrap_or(SimTime::ZERO); // lint: allow — queue is non-empty
+                .unwrap_or(SimTime::ZERO); // queue is non-empty here
             let horizon = self.link.next_free().max(min_ready);
             let pick = self
                 .queue
@@ -125,7 +125,7 @@ impl FairPort {
                 .filter(|(_, p)| p.ready <= horizon)
                 .min_by_key(|(_, p)| (p.finish_tag, p.seq))
                 .map(|(i, _)| i)
-                .unwrap_or(0); // lint: allow — min_ready guarantees one eligible
+                .unwrap_or(0); // min_ready guarantees one eligible
             let p = self.queue.swap_remove(pick);
             self.virtual_time = self.virtual_time.max(p.start_tag);
             let transfer = self.link.transfer(p.ready.max(horizon), p.bytes);

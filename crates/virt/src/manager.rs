@@ -221,7 +221,7 @@ impl VolumeManager {
                     if vol.kind == VolumeKind::Fixed {
                         // Fixed volumes are always fully mapped; a hole here
                         // is a bug.
-                        unreachable!("fixed volume with unmapped extents");
+                        unreachable!("fixed volume with unmapped extents"); // lint: allow(panic-path) — Fixed maps fully at create
                     }
                     let runs = self.pool.allocate(len)?;
                     let mut v = vstart;

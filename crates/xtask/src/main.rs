@@ -1,39 +1,25 @@
 //! Repo automation, invoked as `cargo xtask <command>` (see
 //! `.cargo/config.toml` for the alias).
 //!
-//! * `lint` — deny `unwrap()` / `expect(` in the non-test library code of
-//!   the crates whose failures must surface as typed errors (`cache`,
-//!   `virt`, `simcore`, `qos`, `chaos`). A panic inside those layers would take out
-//!   a whole controller blade instead of failing one request. Lines carrying an
-//!   inline `// lint: allow` marker (for invariants that are provably
-//!   infallible) or matched by `crates/xtask/lint-allow.txt` are exempt.
+//! * `lint` — run the [`ys_lint`] token-aware static analyzer over the
+//!   whole workspace: panic paths in fallible library code, wall-clock
+//!   reads outside the exempt binaries, ambient entropy in simulation
+//!   crates, and unordered (hash-based) iteration in replay-affecting
+//!   crates. Suppressions are scoped inline markers only —
+//!   `// lint: allow(rule) — justification` on the offending line; see
+//!   `docs/lint.md` for the rule catalog and policy.
 //! * `doc` — build the workspace rustdoc with warnings denied
 //!   (`RUSTDOCFLAGS="-D warnings" cargo doc --no-deps`), so broken intra-doc
 //!   links and malformed doc comments fail the hygiene gate instead of
 //!   rotting silently.
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
-
-/// Crates whose library code must not panic on fallible paths.
-const LINTED_CRATES: &[&str] = &[
-    "crates/cache/src",
-    "crates/virt/src",
-    "crates/simcore/src",
-    "crates/qos/src",
-    "crates/chaos/src",
-];
-
-/// Patterns denied outside test code.
-const DENIED: &[&str] = &[".unwrap()", ".expect("];
-
-const ALLOWLIST: &str = "crates/xtask/lint-allow.txt";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => lint(),
+        Some("lint") => lint(args.any(|a| a == "--json")),
         Some("doc") => doc(),
         Some(other) => {
             eprintln!("xtask: unknown command {other}\nusage: cargo xtask <lint|doc>");
@@ -74,108 +60,29 @@ fn doc() -> ExitCode {
     }
 }
 
-/// One allowlist entry: a repo-relative path, optionally `: substring`.
-struct Allow {
-    path: String,
-    needle: Option<String>,
-}
-
-fn load_allowlist(root: &Path) -> Vec<Allow> {
-    let text = fs::read_to_string(root.join(ALLOWLIST)).unwrap_or_default();
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| match l.split_once(": ") {
-            Some((path, needle)) => {
-                Allow { path: path.to_string(), needle: Some(needle.to_string()) }
-            }
-            None => Allow { path: l.to_string(), needle: None },
-        })
-        .collect()
-}
-
 fn repo_root() -> PathBuf {
     // Under `cargo run`/`cargo xtask` the manifest dir is crates/xtask.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
 }
 
-fn lint() -> ExitCode {
+fn lint(json: bool) -> ExitCode {
     let root = repo_root();
-    let allows = load_allowlist(&root);
-    let mut findings: Vec<String> = Vec::new();
-    let mut files = 0usize;
-
-    for crate_src in LINTED_CRATES {
-        let mut stack = vec![root.join(crate_src)];
-        while let Some(dir) = stack.pop() {
-            let entries = match fs::read_dir(&dir) {
-                Ok(e) => e,
-                Err(e) => {
-                    eprintln!("xtask lint: cannot read {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
-                }
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                if path.is_dir() {
-                    stack.push(path);
-                } else if path.extension().is_some_and(|e| e == "rs") {
-                    files += 1;
-                    lint_file(&root, &path, &allows, &mut findings);
-                }
-            }
+    let report = match ys_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
         }
+    };
+    if json {
+        println!("{}", ys_lint::render_json(&report));
+    } else {
+        print!("{}", ys_lint::render_text(&report));
     }
-
-    if findings.is_empty() {
-        println!("xtask lint: {files} files clean (no unwrap/expect outside tests)");
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!(
-            "\nxtask lint: {} violation(s). Return a typed error, or append\n\
-             `// lint: allow` with a justification comment if the call is\n\
-             provably infallible (or add an entry to {ALLOWLIST}).",
-            findings.len()
-        );
         ExitCode::FAILURE
-    }
-}
-
-fn lint_file(root: &Path, path: &Path, allows: &[Allow], findings: &mut Vec<String>) {
-    let rel = path.strip_prefix(root).unwrap_or(path).display().to_string();
-    let file_allows: Vec<&Allow> = allows.iter().filter(|a| a.path == rel).collect();
-    if file_allows.iter().any(|a| a.needle.is_none()) {
-        return;
-    }
-    let Ok(text) = fs::read_to_string(path) else {
-        findings.push(format!("{rel}: unreadable"));
-        return;
-    };
-    for (idx, line) in text.lines().enumerate() {
-        // By repo convention the unit-test module sits at the bottom of the
-        // file; everything after the first `#[cfg(test)]` is test code.
-        if line.contains("#[cfg(test)]") {
-            break;
-        }
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        if line.contains("// lint: allow") {
-            continue;
-        }
-        // Ignore trailing comments so prose about unwrap() doesn't trip.
-        let code = line.split("//").next().unwrap_or(line);
-        for pat in DENIED {
-            if code.contains(pat)
-                && !file_allows.iter().any(|a| a.needle.as_deref().is_some_and(|n| line.contains(n)))
-            {
-                findings.push(format!("{rel}:{}: denied `{pat}`: {}", idx + 1, line.trim()));
-            }
-        }
     }
 }

@@ -1,13 +1,13 @@
 #!/usr/bin/env sh
-# Repo hygiene gate: custom panic-lint plus clippy, both deny-by-default,
-# plus a deterministic ys-chaos fault-campaign smoke as a tier-1 gate.
-# The panic-lint covers cache, virt, simcore, qos, and chaos library code.
+# Repo hygiene gate: ys-lint static analysis plus rustdoc and clippy, all
+# deny-by-default, plus a deterministic ys-chaos fault-campaign smoke with
+# a byte-identity replay diff as a tier-1 gate.
 # Run from anywhere inside the repo; CI and pre-commit both call this.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo xtask lint"
+echo "==> cargo xtask lint (ys-lint: panic/wall-clock/entropy/iteration rules)"
 cargo xtask lint
 
 echo "==> cargo xtask doc (rustdoc, -D warnings)"
@@ -20,7 +20,23 @@ else
     echo "==> clippy unavailable in this toolchain; skipping (xtask lint still ran)"
 fi
 
-echo "==> ys-chaos fault-campaign smoke (seed 4, 64 steps)"
-cargo run -q -p ys-chaos -- --seed 4 --steps 64 --quiet
+echo "==> ys-chaos fault-campaign smoke + in-process double-run (seed 4, 64 steps)"
+cargo run -q -p ys-chaos -- --seed 4 --steps 64 --double-run --quiet
+
+# Cross-process byte-identity: two separate invocations of the same seed
+# must print identical transcripts. The in-process double-run above already
+# catches per-instance hasher drift; this one also covers anything that
+# varies per process (ASLR-dependent ordering, env, globals).
+echo "==> ys-chaos cross-process determinism diff (seed 4, 64 steps)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q -p ys-chaos -- --seed 4 --steps 64 > "$tmpdir/run1.txt"
+cargo run -q -p ys-chaos -- --seed 4 --steps 64 > "$tmpdir/run2.txt"
+if ! cmp -s "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
+    echo "FAIL: same-seed runs differ across processes — replay determinism broken" >&2
+    diff "$tmpdir/run1.txt" "$tmpdir/run2.txt" >&2 || true
+    exit 1
+fi
+echo "    transcripts byte-identical across processes"
 
 echo "==> all checks passed"
