@@ -663,34 +663,47 @@ pub fn all_filtered(filter: &[String]) -> Vec<(&'static str, Vec<Series>)> {
         .collect()
 }
 
-/// Multi-seed confidence sweep, run in parallel across threads via
-/// `ys_simcore::sweep` (each simulation stays single-threaded and
-/// deterministic; only independent runs parallelize).
-///
-/// Returns per-seed aggregate MB/s for a Zipf read workload, plus
-/// mean/min/max — the error bars for E5-style numbers.
-pub fn seed_sweep(seeds: &[u64], threads: usize) -> Vec<Series> {
-    let results = ys_simcore::sweep::run_sweep(seeds.to_vec(), threads, |&seed| {
-        let mut c = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(8).with_clients(8));
-        let vol = c.create_volume("v", 0, GB).unwrap();
-        let set = 32 * MB;
-        let io = 64 * KB;
-        let mut t = SimTime::ZERO;
-        for off in (0..set).step_by(io as usize) {
-            t = c.write(t, 0, vol, off, io, 1, Retention::Normal).unwrap().done;
-        }
-        let base = c.drain().max(t);
-        let mut wl = Workload::zipf(set, io, 0.9, 0.0, seed);
-        let r = closed_loop(8, 150, |client, now| {
-            let op = wl.next_op();
-            let shifted = SimTime(base.nanos() + now.nanos());
-            let done = c.read(shifted, client, vol, op.offset, op.len).unwrap().done;
-            (SimTime(done.nanos() - base.nanos()), op.len)
-        });
-        r.mb_per_sec()
+/// One cell of the multi-seed confidence sweep: a Zipf read workload on a
+/// small cluster, fully determined by `seed`. Pure and single-threaded —
+/// `ys-sweep` fans calls to this across worker threads and the result is
+/// identical to calling it in a loop.
+pub fn seed_run(seed: u64) -> f64 {
+    let mut c = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(8).with_clients(8));
+    let vol = c.create_volume("v", 0, GB).unwrap();
+    let set = 32 * MB;
+    let io = 64 * KB;
+    let mut t = SimTime::ZERO;
+    for off in (0..set).step_by(io as usize) {
+        t = c.write(t, 0, vol, off, io, 1, Retention::Normal).unwrap().done;
+    }
+    let base = c.drain().max(t);
+    let mut wl = Workload::zipf(set, io, 0.9, 0.0, seed);
+    let r = closed_loop(8, 150, |client, now| {
+        let op = wl.next_op();
+        let shifted = SimTime(base.nanos() + now.nanos());
+        let done = c.read(shifted, client, vol, op.offset, op.len).unwrap().done;
+        (SimTime(done.nanos() - base.nanos()), op.len)
     });
+    r.mb_per_sec()
+}
+
+/// Multi-seed confidence sweep: per-seed aggregate MB/s for a Zipf read
+/// workload, plus mean/min/max — the error bars for E5-style numbers.
+///
+/// This serial driver maps [`seed_run`] over the seeds in order; the
+/// `ys-sweep` crate provides the thread-parallel version and a test that
+/// its output is byte-identical to this one.
+pub fn seed_sweep(seeds: &[u64]) -> Vec<Series> {
+    let results: Vec<f64> = seeds.iter().map(|&s| seed_run(s)).collect();
+    summarize_seed_sweep(seeds, &results)
+}
+
+/// Fold per-seed results into the sweep's two report series. Split out so
+/// the parallel harness can merge shard outputs through the exact same
+/// aggregation code path as the serial driver.
+pub fn summarize_seed_sweep(seeds: &[u64], results: &[f64]) -> Vec<Series> {
     let mut per_seed = Series::new("seed sweep: MB/s per seed (parallel harness)");
-    for (s, &mbps) in seeds.iter().zip(&results) {
+    for (s, &mbps) in seeds.iter().zip(results) {
         per_seed.push(*s as f64, mbps);
     }
     let mean = results.iter().sum::<f64>() / results.len().max(1) as f64;
@@ -708,19 +721,15 @@ mod sweep_tests {
     use super::*;
 
     #[test]
-    fn parallel_sweep_matches_sequential_exactly() {
-        // The sweep harness must not perturb determinism: per-seed results
-        // are identical whether run on 1 thread or 8.
-        let seeds = [1u64, 2, 3, 4, 5, 6];
-        let seq = seed_sweep(&seeds, 1);
-        let par = seed_sweep(&seeds, 8);
-        assert_eq!(seq[0].points, par[0].points, "thread count changed results");
+    fn seed_run_is_deterministic() {
+        // `ys-sweep` relies on seed_run being a pure function of its seed.
+        assert_eq!(seed_run(42).to_bits(), seed_run(42).to_bits());
     }
 
     #[test]
     fn seed_variance_is_modest() {
         let seeds = [10u64, 20, 30, 40];
-        let out = seed_sweep(&seeds, 4);
+        let out = seed_sweep(&seeds);
         let mean = out[1].points[0].1;
         let min = out[1].points[1].1;
         let max = out[1].points[2].1;

@@ -652,25 +652,32 @@ impl CacheCluster {
     /// External auditors (the `ys-check` model checker) canonicalize cluster
     /// state from this.
     pub fn resident_pages(&self, blade: usize) -> Vec<ResidentPage> {
-        let mut out: Vec<ResidentPage> = self.blades[blade]
-            .pages
-            .iter()
-            .map(|(key, m)| ResidentPage {
-                key: *key,
-                replica: matches!(m.residency, Residency::Replica),
-                dirty: matches!(m.residency, Residency::Cached { dirty: true, .. }),
-                retention: m.retention,
-                version: m.version,
-            })
-            .collect();
-        out.sort_by_key(|p| p.key);
-        out
+        self.resident_pages_iter(blade).collect()
+    }
+
+    /// Allocation-free variant of [`CacheCluster::resident_pages`]: the
+    /// blade page table is ordered, so residency can stream out in key
+    /// order without materializing a `Vec`. The model checker canonicalizes
+    /// state once per explored transition through this.
+    pub fn resident_pages_iter(&self, blade: usize) -> impl Iterator<Item = ResidentPage> + '_ {
+        self.blades[blade].pages.iter().map(|(key, m)| ResidentPage {
+            key: *key,
+            replica: matches!(m.residency, Residency::Replica),
+            dirty: matches!(m.residency, Residency::Cached { dirty: true, .. }),
+            retention: m.retention,
+            version: m.version,
+        })
     }
 
     /// Recency order (most- to least-recent) of one retention band at
     /// `blade` — the part of blade state that decides future evictions.
     pub fn lru_order(&self, blade: usize, band: Retention) -> Vec<PageKey> {
         self.blades[blade].lru.band_keys(band)
+    }
+
+    /// Allocation-free variant of [`CacheCluster::lru_order`].
+    pub fn lru_order_iter(&self, blade: usize, band: Retention) -> impl Iterator<Item = &PageKey> + '_ {
+        self.blades[blade].lru.band_iter(band)
     }
 
     /// Audit every coherence invariant, returning all violations. See

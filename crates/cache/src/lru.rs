@@ -178,13 +178,18 @@ impl<K: Eq + Hash + Clone> LruList<K> {
 
     /// Iterate keys from most- to least-recent within a band.
     pub fn band_keys(&self, retention: Retention) -> Vec<K> {
-        let mut out = Vec::new();
-        let mut cursor = self.bands[retention as usize].head;
-        while let Some(idx) = cursor {
-            out.push(self.slab[idx].key.clone());
-            cursor = self.slab[idx].next;
-        }
-        out
+        self.band_iter(retention).cloned().collect()
+    }
+
+    /// Allocation-free variant of [`LruList::band_keys`]: borrow keys from
+    /// most- to least-recent within a band. Hot callers (the model
+    /// checker's canonical hash) walk recency order once per explored
+    /// transition and must not pay a `Vec` per walk.
+    pub fn band_iter(&self, retention: Retention) -> impl Iterator<Item = &K> + '_ {
+        std::iter::successors(self.bands[retention as usize].head, move |&idx| {
+            self.slab[idx].next
+        })
+        .map(move |idx| &self.slab[idx].key)
     }
 }
 

@@ -2,9 +2,13 @@
 //!
 //! Exit codes: `0` the campaign proved its promises (or, with `--fatal`,
 //! found and shrank the expected loss), `1` the proof failed, `2` usage.
+//!
+//! The campaign body lives in [`ys_chaos::run`], shared with the
+//! `ys-sweep` parallel harness; this binary only parses arguments and
+//! prints.
 
 use std::process::ExitCode;
-use ys_chaos::{minimize, run_with_schedule, CampaignConfig, CampaignSchedule};
+use ys_chaos::{run_rendered, RunOptions};
 
 const USAGE: &str = "\
 ys-chaos: deterministic fault-campaign harness
@@ -33,20 +37,14 @@ A failing campaign prints a minimal reproducing schedule and the exact
 command line that replays it.";
 
 struct Args {
-    seed: u64,
-    steps: u64,
-    fatal: bool,
-    keep: Option<Vec<usize>>,
+    opts: RunOptions,
     quiet: bool,
     double_run: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        seed: 4,
-        steps: 64,
-        fatal: false,
-        keep: None,
+        opts: RunOptions::new(4, 64),
         quiet: false,
         double_run: false,
     };
@@ -55,20 +53,20 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
-                args.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+                args.opts.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
             }
             "--steps" => {
                 let v = it.next().ok_or("--steps needs a value")?;
-                args.steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
+                args.opts.steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
             }
-            "--fatal" => args.fatal = true,
+            "--fatal" => args.opts.fatal = true,
             "--keep" => {
                 let v = it.next().ok_or("--keep needs a list like 0,3,7")?;
                 let mut keep = Vec::new();
                 for part in v.split(',').filter(|p| !p.is_empty()) {
                     keep.push(part.parse().map_err(|_| format!("bad --keep index {part}"))?);
                 }
-                args.keep = Some(keep);
+                args.opts.keep = Some(keep);
             }
             "--quiet" => args.quiet = true,
             "--double-run" => args.double_run = true,
@@ -77,76 +75,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-fn replay_command(args: &Args, schedule: &CampaignSchedule) -> String {
-    let kept: Vec<String> = schedule.entries.iter().map(|e| e.index.to_string()).collect();
-    let mut cmd = format!("ys-chaos --seed {} --steps {}", schedule.seed, args.steps);
-    if args.fatal {
-        cmd.push_str(" --fatal");
-    }
-    format!("{cmd} --keep {}", kept.join(","))
-}
-
-/// What one full campaign printed and decided.
-struct CampaignRun {
-    /// Everything a non-quiet run prints before the verdict line.
-    transcript: String,
-    /// The shrunk-reproducer portion alone (empty when the run passed) —
-    /// quiet mode still prints this.
-    reproducer: String,
-    /// Did the campaign meet its promise?
-    ok: bool,
-}
-
-/// One full campaign from scratch. Every run regenerates schedule and
-/// state, so two calls share nothing but the seed — exactly what a
-/// cross-process replay sees.
-fn run_campaign(args: &Args) -> CampaignRun {
-    use std::fmt::Write as _;
-    let cfg = CampaignConfig {
-        seed: args.seed,
-        steps: args.steps,
-        fatal: args.fatal,
-        ..CampaignConfig::default()
-    };
-    let full = CampaignSchedule::generate(&cfg);
-    let schedule = match &args.keep {
-        Some(keep) => full.keep(keep),
-        None => full,
-    };
-    let mut transcript = String::new();
-    let _ = writeln!(transcript, "schedule ({} entries):", schedule.entries.len());
-    transcript.push_str(&schedule.render());
-    let report = run_with_schedule(&cfg, schedule);
-    transcript.push_str(&report.render());
-
-    let failed = !report.passed();
-    let mut reproducer = String::new();
-    if failed {
-        let (minimal, runs) = minimize(&cfg, &report.schedule);
-        let _ = writeln!(
-            reproducer,
-            "counterexample: {} of {} injections suffice ({} shrink runs)",
-            minimal.entries.len(),
-            report.schedule.entries.len(),
-            runs
-        );
-        for e in &minimal.entries {
-            let _ = writeln!(reproducer, "  {e}");
-        }
-        let _ = writeln!(reproducer, "replay: {}", replay_command(args, &minimal));
-        transcript.push_str(&reproducer);
-    }
-
-    let ok = if args.fatal {
-        // Fatal mode: the harness passes by FINDING the loss.
-        report.violations.iter().any(|v| v.rule == "acked-write-lost")
-            && report.violations.iter().all(|v| v.rule != "loss-within-budget")
-    } else {
-        !failed
-    };
-    CampaignRun { transcript, reproducer, ok }
 }
 
 fn main() -> ExitCode {
@@ -162,7 +90,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let run = run_campaign(&args);
+    let run = run_rendered(&args.opts);
     if args.quiet {
         print!("{}", run.reproducer);
     } else {
@@ -171,7 +99,7 @@ fn main() -> ExitCode {
 
     let mut deterministic = true;
     if args.double_run {
-        let second = run_campaign(&args);
+        let second = run_rendered(&args.opts);
         deterministic = second.transcript == run.transcript;
         if deterministic {
             println!(
@@ -197,7 +125,7 @@ fn main() -> ExitCode {
     let ok = run.ok && deterministic;
     println!(
         "ys-chaos: seed {} {}",
-        args.seed,
+        args.opts.seed,
         if ok { "PASS" } else { "FAIL" }
     );
     if ok {

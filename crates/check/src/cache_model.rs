@@ -214,95 +214,113 @@ impl Model for CacheModel {
     }
 
     fn canonical_hash(&self) -> u128 {
-        let mut h = StateHasher::new();
+        // Canonical hashing runs once per explored transition — the single
+        // hottest function in a `ys-check` run — so the rank and shadow
+        // buffers are recycled through a per-thread scratch instead of
+        // reallocated each call. Each `ys-sweep` shard thread owns an
+        // independent scratch, keeping shards fully isolated.
+        HASH_SCRATCH.with(|scratch| {
+            let (versions, shadow) = &mut *scratch.borrow_mut();
+            versions.clear();
+            shadow.clear();
+            let mut h = StateHasher::new();
 
-        // Version-rank normalization: collect every version that is
-        // currently observable, then hash each occurrence as its rank.
-        // Absolute counter values can grow without bound, but no operation
-        // can distinguish two states that order their versions identically.
-        let mut versions: Vec<u64> = Vec::new();
-        for (_, e) in self.cluster.directory().iter() {
-            versions.push(e.version);
-        }
-        for b in 0..self.scope.blades {
-            for p in self.cluster.resident_pages(b) {
-                versions.push(p.version);
+            // Version-rank normalization: collect every version that is
+            // currently observable, then hash each occurrence as its rank.
+            // Absolute counter values can grow without bound, but no
+            // operation can distinguish two states that order their
+            // versions identically.
+            for (_, e) in self.cluster.directory().iter() {
+                versions.push(e.version);
             }
-        }
-        for &v in self.last_written.values() {
-            versions.push(v);
-        }
-        versions.sort_unstable();
-        versions.dedup();
-        let rank = |v: u64| versions.binary_search(&v).unwrap_or(usize::MAX) as u64;
-
-        // Blade contents, index order; pages sorted by key.
-        let include_lru = self.scope.capacity_pages < self.scope.pages as usize;
-        for b in 0..self.scope.blades {
-            h.write_bool(self.cluster.blade_up(b));
-            for p in self.cluster.resident_pages(b) {
-                h.write_u64(p.key.page);
-                h.write_bool(p.replica);
-                h.write_bool(p.dirty);
-                h.write_u64(p.retention as u64);
-                h.write_u64(rank(p.version));
-            }
-            h.boundary();
-            if include_lru {
-                // Recency order decides future evictions, so it is part of
-                // behavioral state whenever eviction is reachable.
-                for band in [Retention::Low, Retention::Normal, Retention::High, Retention::Pinned]
-                {
-                    for key in self.cluster.lru_order(b, band) {
-                        h.write_u64(key.page);
-                    }
-                    h.boundary();
+            for b in 0..self.scope.blades {
+                for p in self.cluster.resident_pages_iter(b) {
+                    versions.push(p.version);
                 }
             }
-        }
-
-        // Directory, sorted by key. Sharer and replica lists keep their
-        // stored order: replica order decides promotion on failure.
-        let mut entries: Vec<(&PageKey, &ys_cache::DirEntry)> =
-            self.cluster.directory().iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
-        for (key, e) in entries {
-            h.write_u64(key.page);
-            match e.owner {
-                Some(o) => h.write_u64(1 + o as u64),
-                None => h.write_u64(0),
+            for &v in self.last_written.values() {
+                versions.push(v);
             }
-            for &s in &e.sharers {
-                h.write_usize(s);
+            versions.sort_unstable();
+            versions.dedup();
+            let rank = |v: u64| versions.binary_search(&v).unwrap_or(usize::MAX) as u64;
+
+            // Blade contents, index order; the blade page table is ordered,
+            // so pages stream out key-sorted without materializing.
+            let include_lru = self.scope.capacity_pages < self.scope.pages as usize;
+            for b in 0..self.scope.blades {
+                h.write_bool(self.cluster.blade_up(b));
+                for p in self.cluster.resident_pages_iter(b) {
+                    h.write_u64(p.key.page);
+                    h.write_bool(p.replica);
+                    h.write_bool(p.dirty);
+                    h.write_u64(p.retention as u64);
+                    h.write_u64(rank(p.version));
+                }
+                h.boundary();
+                if include_lru {
+                    // Recency order decides future evictions, so it is part
+                    // of behavioral state whenever eviction is reachable.
+                    for band in
+                        [Retention::Low, Retention::Normal, Retention::High, Retention::Pinned]
+                    {
+                        for key in self.cluster.lru_order_iter(b, band) {
+                            h.write_u64(key.page);
+                        }
+                        h.boundary();
+                    }
+                }
+            }
+
+            // Directory: the underlying map is key-ordered, so iteration is
+            // already canonical. Sharer and replica lists keep their stored
+            // order: replica order decides promotion on failure.
+            for (key, e) in self.cluster.directory().iter() {
+                h.write_u64(key.page);
+                match e.owner {
+                    Some(o) => h.write_u64(1 + o as u64),
+                    None => h.write_u64(0),
+                }
+                for &s in &e.sharers {
+                    h.write_usize(s);
+                }
+                h.boundary();
+                for &r in &e.replicas {
+                    h.write_usize(r);
+                }
+                h.boundary();
+                h.write_u64(rank(e.version));
             }
             h.boundary();
-            for &r in &e.replicas {
-                h.write_usize(r);
-            }
-            h.boundary();
-            h.write_u64(rank(e.version));
-        }
-        h.boundary();
 
-        // Shadow state distinguishes paths the structural state alone may
-        // not (protection promises judge *future* failures).
-        let mut shadow: Vec<(u64, u64, u64, u64)> = self
-            .budgets
-            .iter()
-            .map(|(k, b)| (k.page, b.copies as u64, b.failures as u64, u64::MAX))
-            .collect();
-        for (k, v) in &self.last_written {
-            shadow.push((k.page, u64::MAX, u64::MAX, rank(*v)));
-        }
-        shadow.sort_unstable();
-        for (page, copies, failures, vrank) in shadow {
-            h.write_u64(page);
-            h.write_u64(copies);
-            h.write_u64(failures);
-            h.write_u64(vrank);
-        }
-        h.finish()
+            // Shadow state distinguishes paths the structural state alone
+            // may not (protection promises judge *future* failures).
+            for (k, b) in &self.budgets {
+                shadow.push((k.page, b.copies as u64, b.failures as u64, u64::MAX));
+            }
+            for (k, v) in &self.last_written {
+                shadow.push((k.page, u64::MAX, u64::MAX, rank(*v)));
+            }
+            shadow.sort_unstable();
+            for &(page, copies, failures, vrank) in shadow.iter() {
+                h.write_u64(page);
+                h.write_u64(copies);
+                h.write_u64(failures);
+                h.write_u64(vrank);
+            }
+            h.finish()
+        })
     }
+}
+
+/// `(version ranks, shadow tuples)` buffers reused across hash calls.
+type HashScratch = (Vec<u64>, Vec<(u64, u64, u64, u64)>);
+
+thread_local! {
+    /// Reused scratch for [`CacheModel::canonical_hash`]; see the comment
+    /// there.
+    static HASH_SCRATCH: std::cell::RefCell<HashScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Render a counterexample trace as a ready-to-paste regression test body.

@@ -12,8 +12,9 @@
 //! remaining depth budget, which keeps bounded-depth coverage exact in both
 //! orders.
 
+use crate::hash::SeenMap;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A checkable system: apply ops, audit state, canonicalize for dedup.
@@ -122,7 +123,8 @@ pub fn explore_timed<M: Model>(
     // with everything ever visited.
     let mut nodes: Vec<Node<M::Op>> = vec![Node { parent: 0, op: None }];
     // canonical hash → largest remaining depth budget already expanded.
-    let mut seen: HashMap<u128, usize> = HashMap::new();
+    // Keys are pre-mixed digests, so the map skips SipHash (see SeenMap).
+    let mut seen: SeenMap<usize> = SeenMap::default();
     seen.insert(initial.canonical_hash(), limits.max_depth);
 
     let mut frontier: VecDeque<(usize, usize, M)> = VecDeque::new();

@@ -210,61 +210,73 @@ impl Model for FailoverModel {
     }
 
     fn canonical_hash(&self) -> u128 {
-        let mut h = StateHasher::new();
-        // Version-rank normalization, as in the cache model: absolute
-        // counters grow without bound but only their order is observable.
-        let mut versions: Vec<u64> = Vec::new();
-        for (_, e) in self.cluster.directory().iter() {
-            versions.push(e.version);
-        }
-        for b in 0..self.scope.blades {
-            for p in self.cluster.resident_pages(b) {
-                versions.push(p.version);
+        // Same scratch-reuse discipline as `CacheModel::canonical_hash`:
+        // this runs once per explored transition, so rank/shadow buffers
+        // are recycled per thread rather than allocated per call.
+        HASH_SCRATCH.with(|scratch| {
+            let (versions, shadow) = &mut *scratch.borrow_mut();
+            versions.clear();
+            shadow.clear();
+            let mut h = StateHasher::new();
+            // Version-rank normalization, as in the cache model: absolute
+            // counters grow without bound but only their order is observable.
+            for (_, e) in self.cluster.directory().iter() {
+                versions.push(e.version);
             }
-        }
-        versions.sort_unstable();
-        versions.dedup();
-        let rank = |v: u64| versions.binary_search(&v).unwrap_or(usize::MAX) as u64;
+            for b in 0..self.scope.blades {
+                for p in self.cluster.resident_pages_iter(b) {
+                    versions.push(p.version);
+                }
+            }
+            versions.sort_unstable();
+            versions.dedup();
+            let rank = |v: u64| versions.binary_search(&v).unwrap_or(usize::MAX) as u64;
 
-        for b in 0..self.scope.blades {
-            h.write_bool(self.cluster.blade_up(b));
-            for p in self.cluster.resident_pages(b) {
-                h.write_u64(p.key.page);
-                h.write_bool(p.replica);
-                h.write_bool(p.dirty);
-                h.write_u64(rank(p.version));
+            for b in 0..self.scope.blades {
+                h.write_bool(self.cluster.blade_up(b));
+                for p in self.cluster.resident_pages_iter(b) {
+                    h.write_u64(p.key.page);
+                    h.write_bool(p.replica);
+                    h.write_bool(p.dirty);
+                    h.write_u64(rank(p.version));
+                }
+                h.boundary();
+            }
+            // Directory iteration is key-ordered already (ordered map).
+            for (key, e) in self.cluster.directory().iter() {
+                h.write_u64(key.page);
+                match e.owner {
+                    Some(o) => h.write_u64(1 + o as u64),
+                    None => h.write_u64(0),
+                }
+                for &r in &e.replicas {
+                    h.write_usize(r);
+                }
+                h.boundary();
+                h.write_u64(rank(e.version));
             }
             h.boundary();
-        }
-        let mut entries: Vec<(&PageKey, &ys_cache::DirEntry)> =
-            self.cluster.directory().iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
-        for (key, e) in entries {
-            h.write_u64(key.page);
-            match e.owner {
-                Some(o) => h.write_u64(1 + o as u64),
-                None => h.write_u64(0),
+            for (k, b) in &self.budgets {
+                shadow.push((k.page, b.copies as u64, b.failures as u64));
             }
-            for &r in &e.replicas {
-                h.write_usize(r);
+            shadow.sort_unstable();
+            for &(page, copies, failures) in shadow.iter() {
+                h.write_u64(page);
+                h.write_u64(copies);
+                h.write_u64(failures);
             }
-            h.boundary();
-            h.write_u64(rank(e.version));
-        }
-        h.boundary();
-        let mut shadow: Vec<(u64, u64, u64)> = self
-            .budgets
-            .iter()
-            .map(|(k, b)| (k.page, b.copies as u64, b.failures as u64))
-            .collect();
-        shadow.sort_unstable();
-        for (page, copies, failures) in shadow {
-            h.write_u64(page);
-            h.write_u64(copies);
-            h.write_u64(failures);
-        }
-        h.finish()
+            h.finish()
+        })
     }
+}
+
+/// `(version ranks, shadow tuples)` buffers reused across hash calls.
+type HashScratch = (Vec<u64>, Vec<(u64, u64, u64)>);
+
+thread_local! {
+    /// Reused scratch for [`FailoverModel::canonical_hash`].
+    static HASH_SCRATCH: std::cell::RefCell<HashScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Render a failover counterexample as a ready-to-paste regression test.

@@ -27,6 +27,7 @@ pub mod explore;
 pub mod failover_model;
 pub mod hash;
 pub mod qos_model;
+pub mod summary;
 pub mod virt_model;
 
 pub use cache_model::{render_trace, CacheModel, Op, Scope};
@@ -34,4 +35,5 @@ pub use explore::{explore, explore_timed, Counterexample, Exploration, Limits, M
 pub use failover_model::{render_failover_trace, FailoverModel, FailoverOp, FailoverScope};
 pub use hash::StateHasher;
 pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};
+pub use summary::{render_summary, run_standard, StandardRun, STANDARD_MODELS};
 pub use virt_model::{render_virt_trace, VirtModel, VirtOp, VirtScope};

@@ -1,0 +1,151 @@
+//! Rendered exploration summaries: the shared body behind the `ys-check`
+//! CLI and the `ys-sweep` parallel harness.
+//!
+//! [`render_summary`] formats an [`Exploration`] exactly as the CLI prints
+//! it; [`run_standard`] runs one of the four named standard models at a
+//! given depth and returns both the rendered block and the headline
+//! counters, so a sweep shard and a serial CLI run produce identical
+//! bytes. Library callers get `elapsed 0.00s` (the library reads no
+//! clock); only the CLI injects a wall timer.
+
+use crate::cache_model::{render_trace, CacheModel, Scope};
+use crate::explore::{explore, Exploration, Limits, SearchOrder};
+use crate::failover_model::{render_failover_trace, FailoverModel, FailoverScope};
+use crate::qos_model::{render_qos_trace, QosModel, QosScope};
+use crate::virt_model::{render_virt_trace, VirtModel, VirtScope};
+use std::fmt::Write as _;
+
+/// The four standard model names, in canonical report order.
+pub const STANDARD_MODELS: &[&str] = &["cache", "virt", "qos", "failover"];
+
+/// Format one exploration result as the CLI's summary block.
+pub fn render_summary<Op: std::fmt::Debug>(what: &str, r: &Exploration<Op>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ys-check: {what}");
+    let _ = writeln!(out, "  states visited   {}", r.states_visited);
+    let _ = writeln!(out, "  transitions      {}", r.transitions);
+    let _ = writeln!(out, "  deduplicated     {}", r.deduplicated);
+    let _ = writeln!(out, "  deepest path     {}", r.deepest);
+    let _ = writeln!(out, "  truncated        {}", r.truncated);
+    let _ = writeln!(out, "  elapsed          {:.2}s", r.elapsed_secs);
+    out
+}
+
+/// One completed standard exploration: the rendered block plus the
+/// headline counters a benchmark snapshot records.
+#[derive(Clone, Debug)]
+pub struct StandardRun {
+    /// Summary block, plus the rendered counterexample if one was found.
+    pub rendered: String,
+    pub states_visited: usize,
+    pub transitions: usize,
+    pub deduplicated: usize,
+    pub deepest: usize,
+    pub found_counterexample: bool,
+}
+
+fn finish<Op: std::fmt::Debug>(
+    what: &str,
+    r: Exploration<Op>,
+    render_cx: impl Fn(&crate::explore::Counterexample<Op>) -> String,
+) -> StandardRun {
+    let mut rendered = render_summary(what, &r);
+    let found = match &r.counterexample {
+        Some(cx) => {
+            let _ = writeln!(rendered, "\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            // The CLI prints the trace with `println!`, so keep its
+            // trailing newline for byte-identical output.
+            let _ = writeln!(rendered, "{}", render_cx(cx));
+            true
+        }
+        None => {
+            rendered.push_str("  no violations in the explored space\n");
+            false
+        }
+    };
+    StandardRun {
+        rendered,
+        states_visited: r.states_visited,
+        transitions: r.transitions,
+        deduplicated: r.deduplicated,
+        deepest: r.deepest,
+        found_counterexample: found,
+    }
+}
+
+/// Run one named standard model (`"cache"`, `"virt"`, `"qos"`,
+/// `"failover"`) breadth-first at `depth`, bounded by `max_states`.
+///
+/// Scopes are the acceptance scopes the CLI defaults to, so a shard run by
+/// `ys-sweep` renders the same bytes as `ys-check` itself.
+pub fn run_standard(model: &str, depth: usize, max_states: usize) -> Result<StandardRun, String> {
+    let limits = Limits { max_depth: depth, max_states };
+    match model {
+        "cache" => {
+            let scope = Scope::small();
+            let r = explore(CacheModel::new(scope), limits, SearchOrder::Bfs);
+            let what = format!(
+                "cache model, {} blades × {} pages, {}-way writes, depth {depth}",
+                scope.blades, scope.pages, scope.n_way
+            );
+            Ok(finish(&what, r, |cx| render_trace(&cx.trace, scope, &cx.violations)))
+        }
+        "virt" => {
+            let scope = VirtScope::small();
+            let r = explore(VirtModel::new(scope), limits, SearchOrder::Bfs);
+            let what = format!(
+                "DMSD model, {} volumes × {} extents over a {}-extent pool, depth {depth}",
+                scope.volumes, scope.volume_extents, scope.pool_extents
+            );
+            Ok(finish(&what, r, |cx| render_virt_trace(&cx.trace, scope, &cx.violations)))
+        }
+        "qos" => {
+            let scope = QosScope::small();
+            let r = explore(QosModel::new(scope), limits, SearchOrder::Bfs);
+            let what = format!(
+                "QoS admission model, 2 tenants, quantum {} us, depth {depth}",
+                scope.quantum_ns / 1000
+            );
+            Ok(finish(&what, r, |cx| render_qos_trace(&cx.trace, scope, &cx.violations)))
+        }
+        "failover" => {
+            let scope = FailoverScope::small();
+            let r = explore(FailoverModel::new(scope), limits, SearchOrder::Bfs);
+            let what = format!(
+                "failover model, {} blades × {} pages, {}-way writes, depth {depth}",
+                scope.blades, scope.pages, scope.n_way
+            );
+            Ok(finish(&what, r, |cx| {
+                render_failover_trace(&cx.trace, scope, &cx.violations)
+            }))
+        }
+        other => Err(format!("unknown standard model `{other}` (try {STANDARD_MODELS:?})")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_standard_models_run_clean_at_small_depth() {
+        for model in STANDARD_MODELS {
+            let run = run_standard(model, 3, 500_000).expect("known model");
+            assert!(!run.found_counterexample, "{model} found a violation:\n{}", run.rendered);
+            assert!(run.states_visited > 1, "{model} explored nothing");
+            assert!(run.rendered.contains("states visited"));
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        assert!(run_standard("nope", 3, 10).is_err());
+    }
+
+    #[test]
+    fn summary_is_deterministic_text() {
+        let a = run_standard("cache", 3, 500_000).expect("cache");
+        let b = run_standard("cache", 3, 500_000).expect("cache");
+        assert_eq!(a.rendered, b.rendered);
+    }
+}

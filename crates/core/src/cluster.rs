@@ -921,14 +921,14 @@ impl BladeCluster {
     pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
         let mut events = Vec::new();
         let mut dropped = self.cache.trace().dropped();
-        events.extend(self.cache.trace_mut().take());
+        self.cache.trace_mut().take_into(&mut events);
         for g in &mut self.groups {
             dropped += g.volumes.trace().dropped();
-            events.extend(g.volumes.trace_mut().take());
+            g.volumes.trace_mut().take_into(&mut events);
         }
         for l in &mut self.disk_links {
             dropped += l.trace().dropped();
-            events.extend(l.trace_mut().take());
+            l.trace_mut().take_into(&mut events);
         }
         events.sort_by_key(|e| (e.at, e.subsystem, e.name, e.lane));
         (events, dropped)

@@ -116,12 +116,12 @@ pub fn deliver_stream_traced(
     for links in &mut fc_links {
         for l in links {
             dropped += l.trace().dropped();
-            events.extend(l.trace_mut().take());
+            l.trace_mut().take_into(&mut events);
         }
     }
     for l in [bus.link_mut(), &mut port] {
         dropped += l.trace().dropped();
-        events.extend(l.trace_mut().take());
+        l.trace_mut().take_into(&mut events);
     }
     events.sort_by_key(|e| (e.at, e.lane));
     (result, events, dropped)

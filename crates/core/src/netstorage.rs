@@ -189,11 +189,11 @@ impl NetStorage {
     pub fn take_trace(&mut self) -> (Vec<ys_simcore::SpanEvent>, u64) {
         let mut events = Vec::new();
         let mut dropped = self.repl.trace().dropped();
-        events.extend(self.repl.trace_mut().take());
+        self.repl.trace_mut().take_into(&mut events);
         for row in self.wan.iter_mut() {
             for l in row.iter_mut().flatten() {
                 dropped += l.trace().dropped();
-                events.extend(l.trace_mut().take());
+                l.trace_mut().take_into(&mut events);
             }
         }
         for c in &mut self.clusters {

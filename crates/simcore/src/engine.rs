@@ -56,8 +56,10 @@ pub struct Engine<E> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs scheduled but not yet popped or cancelled.
-    pending_set: std::collections::BTreeSet<u64>,
+    /// Cancelled-but-not-yet-popped seqs. Almost always empty: nothing on
+    /// the simulation data path cancels events, so the schedule/pop hot
+    /// path performs zero set operations and pays for tombstones only
+    /// while at least one cancellation is actually outstanding.
     cancelled: std::collections::BTreeSet<u64>,
     dispatched: u64,
 }
@@ -70,11 +72,16 @@ impl<E: Eq> Default for Engine<E> {
 
 impl<E: Eq> Engine<E> {
     pub fn new() -> Engine<E> {
+        Engine::with_capacity(0)
+    }
+
+    /// An engine whose event queue is pre-sized for `capacity` pending
+    /// events, so steady-state scheduling never reallocates the heap.
+    pub fn with_capacity(capacity: usize) -> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
-            pending_set: std::collections::BTreeSet::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             cancelled: std::collections::BTreeSet::new(),
             dispatched: 0,
         }
@@ -110,7 +117,6 @@ impl<E: Eq> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time: at, seq, payload }));
-        self.pending_set.insert(seq);
         EventId(seq)
     }
 
@@ -123,8 +129,15 @@ impl<E: Eq> Engine<E> {
     /// was still pending (an already-dispatched or already-cancelled event
     /// cannot be cancelled). Cancellation is lazy: the heap entry is
     /// skipped at pop time via a tombstone.
+    ///
+    /// Pending-ness is established by scanning the heap (O(n)): cancels
+    /// are administrative and rare, so the cost lives here instead of as
+    /// per-event set maintenance on the schedule/pop hot path.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending_set.remove(&id.0) {
+        if id.0 >= self.seq || self.cancelled.contains(&id.0) {
+            return false;
+        }
+        if !self.heap.iter().any(|Reverse(e)| e.seq == id.0) {
             return false;
         }
         self.cancelled.insert(id.0);
@@ -134,11 +147,10 @@ impl<E: Eq> Engine<E> {
     /// Pop the next live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
                 continue;
             }
             debug_assert!(entry.time >= self.now, "event queue time went backwards");
-            self.pending_set.remove(&entry.seq);
             self.now = entry.time;
             self.dispatched += 1;
             return Some((entry.time, entry.payload));
@@ -149,7 +161,7 @@ impl<E: Eq> Engine<E> {
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&entry.seq) {
                 let seq = entry.seq;
                 self.heap.pop();
                 self.cancelled.remove(&seq);
@@ -335,5 +347,39 @@ mod cancel_tests {
     fn cancel_of_unknown_id_is_false() {
         let mut e: Engine<u32> = Engine::new();
         assert!(!e.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut a: Engine<u32> = Engine::new();
+        let mut b: Engine<u32> = Engine::with_capacity(64);
+        for i in 0..10 {
+            a.schedule_at(SimTime(100 - i), i as u32);
+            b.schedule_at(SimTime(100 - i), i as u32);
+        }
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop());
+        }
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_still_valid_after_interleaved_pops() {
+        // The tombstone set is consulted only while non-empty; interleaving
+        // pops, cancels, and fresh schedules must not confuse it.
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(SimTime(10), 1);
+        let b = e.schedule_at(SimTime(20), 2);
+        let c = e.schedule_at(SimTime(30), 3);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(1));
+        assert!(!e.cancel(a), "already dispatched");
+        assert!(e.cancel(b), "still pending");
+        assert!(!e.cancel(b), "double cancel");
+        let d = e.schedule_at(SimTime(40), 4);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(3));
+        assert!(e.cancel(d));
+        assert!(!e.cancel(c), "c was dispatched while b's tombstone was live");
+        assert!(e.pop().is_none());
+        assert!(e.is_empty());
     }
 }

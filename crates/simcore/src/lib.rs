@@ -11,14 +11,17 @@
 //! * [`stats`] — counters, latency histograms, rate meters, time-weighted
 //!   gauges, and the [`Series`] text tables benches print;
 //! * [`fault`] — deterministic failure-injection [`FaultPlan`]s;
-//! * [`sweep`] — a parallel parameter-sweep runner (threads + crossbeam),
-//!   keeping individual runs single-threaded and deterministic.
+//! * [`trace`] — the [`SpanRecorder`] event spine replay and chaos testing
+//!   hang off.
+//!
+//! Everything here is single-threaded and clock-free: parallelism over
+//! *independent* runs lives in the `ys-sweep` harness crate, never in the
+//! simulation substrate.
 
 pub mod engine;
 pub mod fault;
 pub mod rng;
 pub mod stats;
-pub mod sweep;
 pub mod time;
 pub mod trace;
 

@@ -285,7 +285,18 @@ impl SpanRecorder {
 
     /// Drain retained events (oldest→newest), keeping the recorder enabled.
     pub fn take(&mut self) -> Vec<SpanEvent> {
-        self.events.drain(..).collect()
+        let mut out = Vec::new();
+        self.take_into(&mut out);
+        out
+    }
+
+    /// Drain retained events (oldest→newest) into a caller-owned buffer,
+    /// appending after its current contents. Collectors that flush many
+    /// rings per step reuse one buffer across flushes instead of allocating
+    /// a fresh `Vec` per ring — the batched-flush fast path `ys-obs` and
+    /// the bench breakdown use.
+    pub fn take_into(&mut self, out: &mut Vec<SpanEvent>) {
+        out.extend(self.events.drain(..));
     }
 }
 
@@ -388,6 +399,26 @@ mod tests {
         assert!(r.is_empty() && r.is_enabled());
         r.instant_at(SimTime(2), "geo", "ship", 0, 1, 10);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn take_into_appends_and_keeps_recording() {
+        let mut r = SpanRecorder::disabled();
+        r.enable(4);
+        r.instant_at(SimTime(1), "geo", "enqueue", 0, 1, 10);
+        let mut buf = vec![SpanEvent {
+            at: SimTime(0),
+            dur: SimDuration::ZERO,
+            subsystem: "x",
+            name: "pre",
+            lane: 0,
+            a: 0,
+            b: 0,
+        }];
+        r.take_into(&mut buf);
+        assert_eq!(buf.len(), 2, "drained events append after existing contents");
+        assert_eq!(buf[1].name, "enqueue");
+        assert!(r.is_empty() && r.is_enabled());
     }
 
     #[test]

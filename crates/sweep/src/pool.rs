@@ -1,9 +1,12 @@
-//! Parallel parameter-sweep runner.
+//! The worker pool: fan deterministic jobs across threads, collect results
+//! in input order.
 //!
-//! Each simulation run is single-threaded and deterministic; sweeps over
-//! configurations (blade counts, distances, replication factors...) are
-//! embarrassingly parallel, so we fan the configurations out over a scoped
-//! thread pool fed by a crossbeam channel and collect results in input order.
+//! Each job is a single-threaded, deterministic simulation; only
+//! *independent* runs parallelize. Inputs are fed through a crossbeam
+//! channel to a scoped thread pool and outputs land in their input index,
+//! so the result vector — and anything rendered from it — is byte-identical
+//! to a serial loop over the same inputs. Threads live only in this harness
+//! crate; the simulation crates stay thread-free and clock-free.
 
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -32,19 +35,19 @@ where
     for pair in inputs.into_iter().enumerate() {
         // Infallible: `rx` is alive in this scope, so the channel cannot be
         // disconnected; a panic here would mean the invariant broke.
-        tx.send(pair).expect("send to open channel"); // lint: allow(panic-path) — infallible, see above
+        tx.send(pair).expect("send to open channel");
     }
     drop(tx);
 
     let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
     // Worker threads are a throughput detail: results land in index order
     // regardless of completion order, so parallelism never reaches replay.
-    std::thread::scope(|scope| { // lint: allow(ambient-entropy)
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let rx = rx.clone();
             let results = &results;
             let f = &f;
-            scope.spawn(move || { // lint: allow(ambient-entropy) — see scope note
+            scope.spawn(move || {
                 while let Ok((idx, input)) = rx.recv() {
                     let out = f(&input);
                     results.lock()[idx] = Some(out);
@@ -57,14 +60,14 @@ where
         .into_iter()
         // Infallible: every index 0..n was queued exactly once and a worker
         // panic would already have propagated out of `thread::scope`.
-        .map(|o| o.expect("worker produced every slot")) // lint: allow(panic-path) — infallible, see above
+        .map(|o| o.expect("worker produced every slot"))
         .collect()
 }
 
 /// Default worker count: the machine's parallelism, bounded to something
 /// polite for shared boxes.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16) // lint: allow(ambient-entropy) — thread count, not replay state
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
 }
 
 #[cfg(test)]

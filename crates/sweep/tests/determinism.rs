@@ -1,0 +1,49 @@
+//! Cross-process determinism: the `ys-sweep` binary must print the same
+//! bytes for every `--jobs` value. This drives the real CLI (argument
+//! parsing, shard merge, report rendering) rather than the library, so it
+//! also pins the exit codes and the seed-range syntax.
+
+use std::process::{Command, Output};
+
+fn sweep(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ys-sweep"))
+        .args(args)
+        .output()
+        .expect("spawn ys-sweep")
+}
+
+#[test]
+fn chaos_jobs4_is_byte_identical_to_jobs1() {
+    let serial = sweep(&["chaos", "--seeds", "1..5", "--steps", "24", "--jobs", "1"]);
+    let parallel = sweep(&["chaos", "--seeds", "1..5", "--steps", "24", "--jobs", "4"]);
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    assert!(parallel.status.success());
+    assert_eq!(serial.stdout, parallel.stdout, "--jobs changed the merged chaos report");
+    let text = String::from_utf8(serial.stdout).unwrap();
+    assert!(text.contains("=== ys-chaos seed 4 ==="));
+    assert!(text.contains("ys-sweep: 4 campaigns, 0 failed"));
+}
+
+#[test]
+fn bench_jobs4_is_byte_identical_to_jobs1() {
+    let serial = sweep(&["bench", "--seeds", "1,2,3,4,5", "--jobs", "1"]);
+    let parallel = sweep(&["bench", "--seeds", "1,2,3,4,5", "--jobs", "4"]);
+    assert!(serial.status.success());
+    assert!(parallel.status.success());
+    assert_eq!(serial.stdout, parallel.stdout, "--jobs changed the bench sweep");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let bad = sweep(&["chaos", "--seeds", "9..1"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let unknown = sweep(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage_and_exits_0() {
+    let help = sweep(&["--help"]);
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("byte-identical"));
+}

@@ -12,6 +12,10 @@
 //!   (`RUSTDOCFLAGS="-D warnings" cargo doc --no-deps`), so broken intra-doc
 //!   links and malformed doc comments fail the hygiene gate instead of
 //!   rotting silently.
+//! * `bench-snapshot` — regenerate `BENCH_baseline.json` via a release
+//!   build of `ys-sweep snapshot` (pass `--check` to compare instead of
+//!   write; host wall-clock lines are excluded from the comparison). See
+//!   `docs/performance.md` for the snapshot schema and workflow.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -21,12 +25,13 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => lint(args.any(|a| a == "--json")),
         Some("doc") => doc(),
+        Some("bench-snapshot") => bench_snapshot(args.any(|a| a == "--check")),
         Some(other) => {
-            eprintln!("xtask: unknown command {other}\nusage: cargo xtask <lint|doc>");
+            eprintln!("xtask: unknown command {other}\nusage: cargo xtask <lint|doc|bench-snapshot>");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask <lint|doc>");
+            eprintln!("usage: cargo xtask <lint|doc|bench-snapshot>");
             ExitCode::from(2)
         }
     }
@@ -55,6 +60,30 @@ fn doc() -> ExitCode {
         Ok(_) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("xtask doc: cannot spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Regenerate (or, with `check`, verify) the perf-trajectory baseline.
+///
+/// Runs `ys-sweep snapshot` in release mode so the host wall-clock
+/// numbers reflect the optimized build the benchmarks document.
+fn bench_snapshot(check: bool) -> ExitCode {
+    let root = repo_root();
+    let baseline = root.join("BENCH_baseline.json");
+    let mut cmd = Command::new("cargo");
+    cmd.args(["run", "--release", "-q", "-p", "ys-sweep", "--", "snapshot", "--out"])
+        .arg(&baseline)
+        .current_dir(&root);
+    if check {
+        cmd.arg("--check");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask bench-snapshot: cannot spawn cargo: {e}");
             ExitCode::FAILURE
         }
     }

@@ -39,4 +39,23 @@ if ! cmp -s "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
 fi
 echo "    transcripts byte-identical across processes"
 
+# Parallelism must be a throughput knob, not a behaviour knob: the merged
+# sweep report has to be byte-identical whether shards ran on one worker
+# or four. (ys-sweep's own tests pin this too; this gate catches it at the
+# shipped-binary level, after any cargo feature/profile skew.)
+echo "==> ys-sweep parallel-vs-serial determinism smoke (chaos seeds 1..5)"
+cargo run -q -p ys-sweep -- chaos --seeds 1..5 --steps 32 --jobs 1 > "$tmpdir/sweep1.txt"
+cargo run -q -p ys-sweep -- chaos --seeds 1..5 --steps 32 --jobs 4 > "$tmpdir/sweep4.txt"
+if ! cmp -s "$tmpdir/sweep1.txt" "$tmpdir/sweep4.txt"; then
+    echo "FAIL: --jobs 4 sweep differs from --jobs 1 — shard merge broke determinism" >&2
+    diff "$tmpdir/sweep1.txt" "$tmpdir/sweep4.txt" >&2 || true
+    exit 1
+fi
+echo "    sweep reports byte-identical across --jobs 1/4"
+
+# Perf-trajectory drift gate: regenerating the benchmark snapshot must
+# reproduce BENCH_baseline.json exactly, ignoring host wall-clock lines.
+echo "==> cargo xtask bench-snapshot --check (sim metrics vs BENCH_baseline.json)"
+cargo xtask bench-snapshot --check
+
 echo "==> all checks passed"
