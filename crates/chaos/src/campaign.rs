@@ -10,17 +10,34 @@
 
 use crate::oracle::{self, OracleViolation, SiteShadow};
 use crate::schedule::{CampaignSchedule, CrashEvent, Injection, ScheduledFault, Trigger};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 use ys_core::{NetStorage, NetStorageConfig, Rebuilder};
 use ys_geo::SiteId;
 use ys_pfs::{FilePolicy, GeoPolicy, Ino};
 use ys_qos::{QosClass, QosConfig, TenantSpec};
+use ys_scrub::{ScrubConfig, ScrubTarget, Scrubber};
 use ys_simcore::time::{SimDuration, SimTime};
 use ys_simcore::Rng;
 use ys_simdisk::DiskId;
 use ys_virt::VolumeId;
 
 const PAGE: u64 = 64 * 1024;
+
+/// Member-capacity span a campaign disk rebuild covers (see
+/// [`Campaign::fail_disk`]).
+const REBUILD_REGION: u64 = 8 << 20;
+
+/// Volume pages the schedule may rot. The per-site integrity volume is
+/// written through `integ_target_pages(cfg).end * PAGE` bytes at setup;
+/// the final 128 pages land beyond [`REBUILD_REGION`] on every member, so
+/// latent errors and rebuild survivor reads never meet — the scrubber,
+/// not the rebuilder, owns rot repair.
+pub(crate) fn integ_target_pages(cfg: &CampaignConfig) -> Range<u64> {
+    let data_members = cfg.disks_per_site.saturating_sub(1).max(1) as u64;
+    let total = (REBUILD_REGION * data_members + (16 << 20)) / PAGE;
+    total - 128..total
+}
 
 /// Everything that determines a campaign, besides the schedule itself.
 #[derive(Clone, Debug)]
@@ -82,6 +99,17 @@ pub struct CampaignReport {
     pub degraded_time: SimDuration,
     pub healthy_ops: u64,
     pub healthy_time: SimDuration,
+    /// Latent errors injected (CorruptPage entries that actually fired).
+    pub corruptions_injected: u64,
+    /// Injected errors no longer rotten after the converge scrub
+    /// (repaired from a source, or rewritten/replaced along the way).
+    pub corruptions_repaired: u64,
+    /// Injected errors the scrub explicitly declared lost.
+    pub corruptions_declared: u64,
+    /// Pages the converge scrub verified across every site.
+    pub scrub_scanned: u64,
+    /// Pages the converge scrub found rotten.
+    pub scrub_mismatches: u64,
     pub final_time: SimTime,
 }
 
@@ -121,6 +149,14 @@ impl CampaignReport {
             self.healthy_ops,
             self.degraded_throughput(),
             self.degraded_ops
+        ));
+        out.push_str(&format!(
+            "  scrub: {} pages verified, {} rotten; latent errors: {} injected = {} repaired + {} declared lost\n",
+            self.scrub_scanned,
+            self.scrub_mismatches,
+            self.corruptions_injected,
+            self.corruptions_repaired,
+            self.corruptions_declared
         ));
         for (what, dur) in &self.recovery {
             out.push_str(&format!("  recovered: {what} in {dur}\n"));
@@ -174,6 +210,13 @@ struct Campaign {
     files: Vec<(Ino, usize)>,
     /// Per-site QoS probe volume per tenant id (1..=3); empty if QoS off.
     probes: Vec<Vec<(u32, VolumeId)>>,
+    /// Per-site integrity volume — the latent-error target.
+    integ_vols: Vec<VolumeId>,
+    /// Stripe rows already rotten, keyed (site, member offset / chunk):
+    /// parity repair is single-failure arithmetic, one error per row.
+    rotten_rows: BTreeSet<(usize, u64)>,
+    /// Fired latent errors: (site, disk, member offset, volume page).
+    corruptions: Vec<(usize, DiskId, u64, u64)>,
     /// Writes the system acknowledged: (ino, offset) -> len.
     acked: BTreeMap<(u64, u64), u64>,
     down: Vec<Vec<bool>>,
@@ -203,6 +246,10 @@ struct Campaign {
     degraded_time: SimDuration,
     healthy_ops: u64,
     healthy_time: SimDuration,
+    corruptions_repaired: u64,
+    corruptions_declared: u64,
+    scrub_scanned: u64,
+    scrub_mismatches: u64,
 }
 
 impl Campaign {
@@ -278,11 +325,41 @@ impl Campaign {
             probes.push(row);
         }
 
+        // Integrity volumes: pre-written cold data for the schedule's
+        // latent errors to rot. Sized so the corruptible tail sits past
+        // the rebuild region on every member (see `integ_target_pages`);
+        // written with one cache copy so the scrubber's replica source
+        // stays plausible, then destaged so the data is at rest.
+        let mut integ_vols = Vec::new();
+        let integ_bytes = integ_target_pages(cfg).end * PAGE;
+        for site in 0..sites {
+            let c = &mut ns.clusters[site];
+            match c.create_volume("integrity", 0, integ_bytes) {
+                Ok(vol) => {
+                    let mut off = 0;
+                    while off < integ_bytes {
+                        if let Err(e) =
+                            c.write(SimTime::ZERO, 0, vol, off, 1 << 20, 1, ys_cache::Retention::Normal)
+                        {
+                            panic!("campaign setup: integrity fill: {e}"); // lint: allow(panic-path) — harness setup
+                        }
+                        off += 1 << 20;
+                    }
+                    c.drain();
+                    integ_vols.push(vol);
+                }
+                Err(e) => panic!("campaign setup: integrity volume: {e}"), // lint: allow(panic-path) — harness setup
+            }
+        }
+
         Campaign {
             rng: Rng::new(cfg.seed ^ 0x0c4a_0517),
             shadows: vec![SiteShadow::default(); sites],
             files,
             probes,
+            integ_vols,
+            rotten_rows: BTreeSet::new(),
+            corruptions: Vec::new(),
             acked: BTreeMap::new(),
             down: vec![vec![false; cfg.blades_per_site]; sites],
             crash_since: vec![None; sites],
@@ -306,6 +383,10 @@ impl Campaign {
             degraded_time: SimDuration::ZERO,
             healthy_ops: 0,
             healthy_time: SimDuration::ZERO,
+            corruptions_repaired: 0,
+            corruptions_declared: 0,
+            scrub_scanned: 0,
+            scrub_mismatches: 0,
             ns,
             schedule,
             cfg: cfg.clone(),
@@ -434,7 +515,32 @@ impl Campaign {
                 self.injections_fired += 1;
             }
             Injection::KillDirtyPage { site } => self.kill_dirty_page(site),
+            Injection::CorruptPage { site, page } => self.corrupt_page(site, page),
         }
+    }
+
+    fn corrupt_page(&mut self, site: usize, page: u64) {
+        if site >= self.sites() {
+            self.injections_skipped += 1;
+            return;
+        }
+        let vol = self.integ_vols[site];
+        let Some((disk, offset)) = self.ns.clusters[site].locate_volume_page(vol, page) else {
+            self.injections_skipped += 1;
+            return;
+        };
+        let row = (site, offset / PAGE);
+        if offset < REBUILD_REGION
+            || self.rotten_rows.contains(&row)
+            || self.ns.clusters[site].disk_page_corrupt(disk, offset)
+        {
+            self.injections_skipped += 1;
+            return;
+        }
+        self.ns.clusters[site].corrupt_disk_page(disk, offset);
+        self.rotten_rows.insert(row);
+        self.corruptions.push((site, disk, offset, page));
+        self.injections_fired += 1;
     }
 
     fn crash_blade(&mut self, site: usize, blade: usize) {
@@ -904,6 +1010,11 @@ impl Campaign {
             oracle::audit_site(site, self.step, &self.ns.clusters[site], &mut self.violations);
             oracle::audit_qos(site, self.step, &self.ns.clusters[site], &mut self.violations);
         }
+        // Scrub every site and hold the integrity promise: each injected
+        // latent error must now be repaired or explicitly declared lost.
+        // Runs before the acked re-reads below so repairable rot can't
+        // masquerade as structural unreadability.
+        self.scrub_sites();
         // Every acknowledged write must still be readable. (Legally lost
         // pages were surfaced and acknowledged above — their stale-on-disk
         // image reads back; what this catches is structural unreadability:
@@ -922,6 +1033,62 @@ impl Campaign {
                     site: self.home_of(ino).0,
                     detail: format!("ino {ino} offset {off}: {e}"),
                 }),
+            }
+        }
+    }
+
+    /// Converge-time scrub of every site, as the Scavenger tenant when
+    /// QoS is on (administratively otherwise), plus the integrity oracle:
+    /// every fired [`Injection::CorruptPage`] must be repaired or carry
+    /// an explicit [`ys_scrub::ScrubLoss`] — silent residue is a
+    /// violation.
+    fn scrub_sites(&mut self) {
+        let tenant = if self.cfg.enable_qos { Some(3) } else { None };
+        for site in 0..self.sites() {
+            let mut scrubber = Scrubber::new(
+                ScrubConfig { tenant, ..ScrubConfig::default() },
+                &self.ns.clusters[site],
+            );
+            let run = {
+                let mut target = ScrubTarget::Site(&mut self.ns, SiteId(site));
+                scrubber.run(&mut target, self.t)
+            };
+            match run {
+                Ok(done) => self.t = self.t.max(done),
+                Err(e) => self.violations.push(OracleViolation {
+                    rule: "scrub-error",
+                    step: self.step,
+                    site,
+                    detail: format!("converge scrub aborted: {e}"),
+                }),
+            }
+            let report = scrubber.report();
+            self.scrub_scanned += report.pages_scanned;
+            self.scrub_mismatches += report.mismatch_pages;
+            for i in 0..self.corruptions.len() {
+                let (s, disk, offset, page) = self.corruptions[i];
+                if s != site {
+                    continue;
+                }
+                let declared = report
+                    .losses
+                    .iter()
+                    .any(|l| l.vol == self.integ_vols[site] && l.page == page);
+                if declared {
+                    self.corruptions_declared += 1;
+                } else if self.ns.clusters[site].disk_page_corrupt(disk, offset) {
+                    self.violations.push(OracleViolation {
+                        rule: "corruption-unrepaired",
+                        step: self.step,
+                        site,
+                        detail: format!(
+                            "disk {} offset {offset} (integrity page {page}) still rotten, not declared",
+                            disk.0
+                        ),
+                    });
+                } else {
+                    self.corruptions_repaired += 1;
+                }
             }
         }
     }
@@ -973,6 +1140,11 @@ impl Campaign {
             degraded_time: self.degraded_time,
             healthy_ops: self.healthy_ops,
             healthy_time: self.healthy_time,
+            corruptions_injected: self.corruptions.len() as u64,
+            corruptions_repaired: self.corruptions_repaired,
+            corruptions_declared: self.corruptions_declared,
+            scrub_scanned: self.scrub_scanned,
+            scrub_mismatches: self.scrub_mismatches,
             final_time: self.t,
         }
     }
@@ -1026,6 +1198,26 @@ mod tests {
             "even the fatal campaign must not lose data *within* budget:\n{}",
             r.render()
         );
+    }
+
+    #[test]
+    fn latent_errors_are_repaired_or_declared_at_convergence() {
+        for seed in 0..8 {
+            let cfg = CampaignConfig { seed, steps: 64, ..CampaignConfig::default() };
+            let r = run_campaign(&cfg);
+            assert!(r.passed(), "seed {seed}:\n{}", r.render());
+            assert!(r.scrub_scanned > 0, "converge scrub must actually walk pages");
+            if r.corruptions_injected > 0 {
+                assert_eq!(
+                    r.corruptions_injected,
+                    r.corruptions_repaired + r.corruptions_declared,
+                    "every latent error accounted for:\n{}",
+                    r.render()
+                );
+                return;
+            }
+        }
+        panic!("no seed in 0..8 fired a latent error");
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub enum Injection {
     /// replica, back to back — the deliberate N-failure that must surface
     /// as an explicit loss, never a silent stale read.
     KillDirtyPage { site: usize },
+    /// Latent media error: a page of the site's integrity volume rots
+    /// silently on disk. Nothing notices until a verified read covers it;
+    /// the converge-time scrub must repair it or declare it lost — the
+    /// oracle rejects silent residue.
+    CorruptPage { site: usize, page: u64 },
 }
 
 /// A scheduled fault: original index (stable across shrinking), trigger,
@@ -214,6 +219,26 @@ impl CampaignSchedule {
             }
             step += 4 + rng.next_below(6);
         }
+        // Latent-error episode: a few integrity-volume pages rot silently
+        // at scattered instants. Appended after the main loop with
+        // continued draws, so the episode structure above is unchanged
+        // for every seed; placed before the fatal kill so that entry
+        // stays last. Budget: never exceed `max_injections` (reserving a
+        // slot for the kill).
+        let reserve = usize::from(cfg.fatal);
+        let wanted = 2 + rng.next_below(3) as usize;
+        let room = cfg.max_injections.saturating_sub(entries.len() + reserve);
+        let targets = crate::campaign::integ_target_pages(cfg);
+        for _ in 0..wanted.min(room) {
+            let site = rng.next_below(sites as u64) as usize;
+            let page = targets.start + rng.next_below(targets.end - targets.start);
+            entries.push(ScheduledFault {
+                index: 0,
+                trigger: Trigger::AtStep(step.min(step_span.saturating_sub(2))),
+                injection: Injection::CorruptPage { site, page },
+            });
+            step += 1 + rng.next_below(3);
+        }
         if cfg.fatal {
             let site = rng.next_below(sites as u64) as usize;
             entries.push(ScheduledFault {
@@ -305,6 +330,21 @@ mod tests {
         assert_eq!(sub.entries[0].index, 0);
         assert_eq!(sub.entries[1].index, 2);
         assert!(sub.replay_line().contains("--keep 0,2"));
+    }
+
+    #[test]
+    fn latent_errors_are_scheduled_within_the_injection_budget() {
+        let mut any = false;
+        for seed in 0..16 {
+            let cfg = CampaignConfig { seed, ..CampaignConfig::default() };
+            let s = CampaignSchedule::generate(&cfg);
+            assert!(s.entries.len() <= cfg.max_injections, "seed {seed} over budget");
+            any |= s
+                .entries
+                .iter()
+                .any(|e| matches!(e.injection, Injection::CorruptPage { .. }));
+        }
+        assert!(any, "no seed in 0..16 scheduled a latent error");
     }
 
     #[test]

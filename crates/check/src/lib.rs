@@ -11,7 +11,10 @@
 //! * directory-vs-LRU residency agreement and per-blade capacity (§2.2);
 //! * DMSD allocated-block conservation across snapshot/rollback (§3);
 //! * QoS admission-ledger balance, token/burst bounds, in-flight caps, and
-//!   counter monotonicity (`ys-qos`).
+//!   counter monotonicity (`ys-qos`);
+//! * end-to-end integrity — a rotten page is never read back clean, and a
+//!   scrub either repairs it from a live source or declares an explicit
+//!   loss (`ys-simdisk`'s checksum plane + `ys-scrub`'s repair protocol).
 //!
 //! States deduplicate by a canonical 128-bit hash that normalizes unbounded
 //! counters (absolute write versions hash as ranks), so the explored space
@@ -26,6 +29,7 @@ pub mod cache_model;
 pub mod explore;
 pub mod failover_model;
 pub mod hash;
+pub mod integrity_model;
 pub mod qos_model;
 pub mod summary;
 pub mod virt_model;
@@ -34,6 +38,7 @@ pub use cache_model::{render_trace, CacheModel, Op, Scope};
 pub use explore::{explore, explore_timed, Counterexample, Exploration, Limits, Model, SearchOrder};
 pub use failover_model::{render_failover_trace, FailoverModel, FailoverOp, FailoverScope};
 pub use hash::StateHasher;
+pub use integrity_model::{render_integrity_trace, IntegrityModel, IntegrityOp, IntegrityScope};
 pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};
 pub use summary::{render_summary, run_standard, StandardRun, STANDARD_MODELS};
 pub use virt_model::{render_virt_trace, VirtModel, VirtOp, VirtScope};

@@ -13,9 +13,9 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore_timed, render_failover_trace, render_qos_trace, render_trace, render_virt_trace,
-    CacheModel, Exploration, FailoverModel, FailoverScope, Limits, QosModel, QosScope, Scope,
-    SearchOrder, VirtModel, VirtScope,
+    explore_timed, render_failover_trace, render_integrity_trace, render_qos_trace, render_trace,
+    render_virt_trace, CacheModel, Exploration, FailoverModel, FailoverScope, IntegrityModel,
+    IntegrityScope, Limits, QosModel, QosScope, Scope, SearchOrder, VirtModel, VirtScope,
 };
 
 /// Wall-clock reader injected into [`explore_timed`]. The library stays
@@ -36,6 +36,7 @@ struct Args {
     virt: bool,
     qos: bool,
     failover: bool,
+    integrity: bool,
 }
 
 impl Default for Args {
@@ -51,6 +52,7 @@ impl Default for Args {
             virt: false,
             qos: false,
             failover: false,
+            integrity: false,
         }
     }
 }
@@ -71,6 +73,7 @@ OPTIONS:
   --virt           check the DMSD volume manager instead of the cache
   --qos            check the ys-qos admission controller instead
   --failover       check the §6.1 crash/promote/destage failover protocol
+  --integrity      check the checksum / scrub repair-or-declare protocol
   -h, --help       print this help
 ";
 
@@ -95,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
             "--virt" => args.virt = true,
             "--qos" => args.qos = true,
             "--failover" => args.failover = true,
+            "--integrity" => args.integrity = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -125,7 +129,22 @@ fn main() -> ExitCode {
     };
     let limits = Limits { max_depth: args.depth, max_states: args.max_states };
 
-    if args.failover {
+    if args.integrity {
+        let scope = IntegrityScope::small();
+        let result = explore_timed(IntegrityModel::new(scope), limits, args.order, wall_timer());
+        report(
+            &format!(
+                "integrity model, {} pages × 3 repair sources, depth {}",
+                scope.pages, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_integrity_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else if args.failover {
         let scope = FailoverScope {
             blades: args.blades,
             pages: args.pages.min(2),

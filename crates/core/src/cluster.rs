@@ -16,6 +16,7 @@ use ys_raid::{Geometry, IoPlan};
 use ys_simcore::stats::{LatencyHisto, RateMeter};
 use ys_simcore::time::{SimDuration, SimTime};
 use ys_simdisk::{DiskFarm, DiskId, DiskOp};
+use ys_simdisk::Verification;
 use ys_qos::{AdmissionController, Decision, Pressure, ShedReason};
 use ys_simnet::{catalog, Fabric, Link, LinkSpec};
 use ys_virt::{PhysicalPool, Segment, VirtError, VolumeId, VolumeKind, VolumeManager};
@@ -35,6 +36,24 @@ pub struct Completion {
     pub latency: SimDuration,
 }
 
+/// One planned read that failed checksum verification: the farm disk it
+/// hit and the member-local span that was read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadMismatch {
+    pub disk: DiskId,
+    pub offset: u64,
+    pub bytes: u64,
+}
+
+/// Result of scrub-probing one volume page directly against the disks.
+#[derive(Clone, Debug)]
+pub struct PageVerify {
+    /// When the probe's member reads completed.
+    pub done: SimTime,
+    /// Reads that hit rotten media (empty = page verified clean).
+    pub mismatches: Vec<ReadMismatch>,
+}
+
 /// Cluster-level error.
 #[derive(Clone, Debug)]
 pub enum ClusterError {
@@ -45,6 +64,10 @@ pub enum ClusterError {
     NoBladesUp,
     /// Admission control refused the request (`ys-qos`).
     QosShed { tenant: u32, reason: ShedReason },
+    /// A checksum-verified read hit a latent media error. The data never
+    /// propagates — same discipline as `DataLost` tombstones: the caller
+    /// sees an explicit error until a scrub repairs (or declares) the page.
+    Integrity { disk: DiskId, offset: u64 },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -57,6 +80,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NoBladesUp => write!(f, "no controller blades available"),
             ClusterError::QosShed { tenant, reason } => {
                 write!(f, "qos: tenant {tenant} request shed ({reason:?})")
+            }
+            ClusterError::Integrity { disk, offset } => {
+                write!(f, "integrity: checksum mismatch on disk {} at offset {offset}", disk.0)
             }
         }
     }
@@ -100,6 +126,17 @@ pub struct ClusterStats {
     pub prefetches_issued: u64,
     /// Misses that joined an in-flight prefetch instead of going to disk.
     pub prefetch_hits: u64,
+    /// Checksum mismatches surfaced by verified reads (cache fills,
+    /// readahead, rebuild sources, scrub probes). Never silent: each one
+    /// either errored the request, skipped a prefetch, poisoned a rebuild
+    /// target, or fed a scrub repair.
+    pub integrity_errors: u64,
+    /// Rebuild batches whose survivor reads failed verification; the
+    /// affected replacement-disk pages were poisoned rather than silently
+    /// reconstructed from rot.
+    pub rebuild_mismatches: u64,
+    /// Pages a scrub declared unrepairable (explicit `ScrubLoss`).
+    pub scrub_losses: u64,
 }
 
 /// One RAID group inside the cluster: a geometry over a contiguous range
@@ -533,6 +570,59 @@ impl BladeCluster {
         Ok(done)
     }
 
+    /// [`BladeCluster::charge_plan`] with checksum verification on every
+    /// read. Timing is identical (verification is metadata, not I/O); the
+    /// returned list carries any reads that hit rotten media, for the
+    /// caller to surface or repair — never to ignore.
+    fn charge_plan_verified(
+        &mut self,
+        group: usize,
+        blade: usize,
+        start: SimTime,
+        plan: &IoPlan,
+    ) -> Result<(SimTime, Vec<ReadMismatch>), ClusterError> {
+        let base = self.groups[group].disk_base;
+        let mut done = start;
+        let mut mismatches = Vec::new();
+        for io in &plan.reads {
+            let id = DiskId(base + io.member);
+            let (disk_done, verdict) =
+                self.farm.submit_verified(id, start, DiskOp::Read { offset: io.offset, bytes: io.bytes })?;
+            if verdict == Verification::ChecksumMismatch {
+                mismatches.push(ReadMismatch { disk: id, offset: io.offset, bytes: io.bytes });
+            }
+            let arrival = self.disk_links[blade].transfer(disk_done, io.bytes).arrival;
+            done = done.max(arrival);
+        }
+        let write_start = done;
+        for io in &plan.writes {
+            let arrival = self.disk_links[blade].transfer(write_start, io.bytes).arrival;
+            let disk_done = self.farm.submit(DiskId(base + io.member), arrival, DiskOp::Write { offset: io.offset, bytes: io.bytes })?;
+            done = done.max(disk_done);
+        }
+        if !mismatches.is_empty() {
+            self.stats.integrity_errors += mismatches.len() as u64;
+        }
+        Ok((done, mismatches))
+    }
+
+    /// Verified charge that refuses to propagate rot: the first mismatch
+    /// becomes an explicit [`ClusterError::Integrity`]. Used by the
+    /// foreground fill paths.
+    fn charge_plan_strict(
+        &mut self,
+        group: usize,
+        blade: usize,
+        start: SimTime,
+        plan: &IoPlan,
+    ) -> Result<SimTime, ClusterError> {
+        let (done, mismatches) = self.charge_plan_verified(group, blade, start, plan)?;
+        if let Some(m) = mismatches.first() {
+            return Err(ClusterError::Integrity { disk: m.disk, offset: m.offset });
+        }
+        Ok(done)
+    }
+
     /// This group's slice of the global failed-disk mask.
     fn group_failed(&self, group: usize) -> Vec<bool> {
         let g = &self.groups[group];
@@ -618,7 +708,7 @@ impl BladeCluster {
                         let mut disk_done = t0;
                         for (phys, plen) in pieces {
                             let plan = ys_raid::read_plan(&geo, phys, plen, &failed)?;
-                            disk_done = disk_done.max(self.charge_plan(gi, blade, t0, &plan)?);
+                            disk_done = disk_done.max(self.charge_plan_strict(gi, blade, t0, &plan)?);
                         }
                         let dec = self.crypt_time(pb, self.cfg.encryption.at_rest);
                         self.cpus[blade].transfer(disk_done + dec, piece).arrival
@@ -644,7 +734,7 @@ impl BladeCluster {
                         let mut disk_done = t0;
                         for (phys, plen) in pieces {
                             let plan = ys_raid::read_plan(&geo, phys, plen, &failed)?;
-                            disk_done = disk_done.max(self.charge_plan(gi, blade, t0, &plan)?);
+                            disk_done = disk_done.max(self.charge_plan_strict(gi, blade, t0, &plan)?);
                         }
                         // At-rest decryption on the way up.
                         let dec = self.crypt_time(pb, self.cfg.encryption.at_rest);
@@ -701,9 +791,13 @@ impl BladeCluster {
             let mut ok = true;
             for (phys, plen) in pieces {
                 match ys_raid::read_plan(&geo, phys, plen, &failed) {
-                    Ok(plan) => match self.charge_plan(gi, blade, at, &plan) {
-                        Ok(d) => arrival = arrival.max(d),
-                        Err(_) => {
+                    // Verified: a prefetched page that fails its checksum
+                    // must never land in cache as if it were good data —
+                    // the fill is dropped and the later foreground miss
+                    // surfaces the mismatch explicitly.
+                    Ok(plan) => match self.charge_plan_verified(gi, blade, at, &plan) {
+                        Ok((d, mismatches)) if mismatches.is_empty() => arrival = arrival.max(d),
+                        _ => {
                             ok = false;
                             break;
                         }
@@ -942,6 +1036,244 @@ impl BladeCluster {
     /// Charge a plan against a specific group.
     pub fn charge_io_plan_in(&mut self, group: usize, blade: usize, start: SimTime, plan: &IoPlan) -> Result<SimTime, ClusterError> {
         self.charge_plan(group, blade, start, plan)
+    }
+
+    /// Checksum-verified [`BladeCluster::charge_io_plan_in`]: identical
+    /// timing, plus any reads that hit rotten media. The rebuild driver
+    /// uses this so a latent error on a survivor can never be silently
+    /// baked into a reconstructed disk.
+    pub fn charge_io_plan_verified_in(
+        &mut self,
+        group: usize,
+        blade: usize,
+        start: SimTime,
+        plan: &IoPlan,
+    ) -> Result<(SimTime, Vec<ReadMismatch>), ClusterError> {
+        self.charge_plan_verified(group, blade, start, plan)
+    }
+
+    /// Inject a latent media error on the page of `disk` containing
+    /// `offset` (the ys-chaos `CorruptPage` fault). Silent until a
+    /// verified read or a scrub covers it. Returns false for out-of-range
+    /// targets.
+    pub fn corrupt_disk_page(&mut self, disk: DiskId, offset: u64) -> bool {
+        if disk.0 >= self.farm.len() {
+            return false;
+        }
+        self.farm.corrupt_page(disk, offset)
+    }
+
+    /// Where the first physical data span backing `vol`'s page `page`
+    /// lives: the (disk, member offset) a fault injector would hit.
+    /// `None` for unmapped pages. Does not alter any state.
+    pub fn locate_volume_page(&mut self, vol: VolumeId, page: u64) -> Option<(DiskId, u64)> {
+        let pb = self.cfg.page_bytes;
+        let (gi, _) = Self::decode_vol(vol);
+        let geo = self.groups[gi].geo;
+        let healthy = vec![false; geo.members];
+        let pieces = self.map_segments(vol, page * pb, pb, false).ok()?;
+        let (phys, plen) = *pieces.first()?;
+        let plan = ys_raid::read_plan(&geo, phys, plen, &healthy).ok()?;
+        let io = plan.reads.first()?;
+        Some((DiskId(self.groups[gi].disk_base + io.member), io.offset))
+    }
+
+    /// Inject a latent error on the physical data span backing `vol`'s
+    /// page `page`, so the rot is visible to any verified read of that
+    /// page (unlike a raw [`BladeCluster::corrupt_disk_page`], which may
+    /// land on parity or free space). Returns the (disk, member offset)
+    /// hit, or `None` when the page is unmapped.
+    pub fn corrupt_volume_page(&mut self, vol: VolumeId, page: u64) -> Option<(DiskId, u64)> {
+        let (disk, offset) = self.locate_volume_page(vol, page)?;
+        self.farm.corrupt_page(disk, offset);
+        Some((disk, offset))
+    }
+
+    /// Whether `disk`'s page containing `offset` currently fails
+    /// verification.
+    pub fn disk_page_corrupt(&self, disk: DiskId, offset: u64) -> bool {
+        disk.0 < self.farm.len() && self.farm.is_page_corrupt(disk, offset)
+    }
+
+    /// Pages across the farm currently failing verification.
+    pub fn corrupt_page_count(&self) -> usize {
+        self.farm.corrupt_page_count()
+    }
+
+    /// Volumes across every group, in (group, id) order — the scrubber's
+    /// deterministic walk order.
+    pub fn volume_ids(&self) -> Vec<VolumeId> {
+        let mut out = Vec::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let mut ids: Vec<u32> = g.volumes.volumes().map(|v| v.id.0).collect();
+            ids.sort_unstable();
+            out.extend(ids.into_iter().map(|id| Self::encode_vol(gi, VolumeId(id))));
+        }
+        out
+    }
+
+    /// Mapped extent indices of `vol`, ascending — the extents a scrub
+    /// pass must cover (holes have no data to verify).
+    pub fn mapped_extents(&self, vol: VolumeId) -> Vec<u64> {
+        let (gi, local) = Self::decode_vol(vol);
+        let Some(v) = self.groups[gi].volumes.volume(local) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for run in v.map.runs() {
+            out.extend(run.vstart..run.vend());
+        }
+        out
+    }
+
+    /// Bytes per virtualization extent (the scrub walk granularity above
+    /// the page).
+    pub fn extent_bytes(&self) -> u64 {
+        self.cfg.extent_bytes
+    }
+
+    /// Scrub probe: read volume page `page` directly from the disks
+    /// through the healthy RAID path and verify checksums, without
+    /// touching the cache (a scrub must observe the media, not the
+    /// cache). Unmapped pages verify trivially clean.
+    pub fn verify_page(
+        &mut self,
+        now: SimTime,
+        blade: usize,
+        vol: VolumeId,
+        page: u64,
+    ) -> Result<PageVerify, ClusterError> {
+        let pb = self.cfg.page_bytes;
+        let (gi, _) = Self::decode_vol(vol);
+        let failed = self.group_failed(gi);
+        let geo = self.groups[gi].geo;
+        let pieces = self.map_segments(vol, page * pb, pb, false)?;
+        let mut done = now;
+        let mut mismatches = Vec::new();
+        for (phys, plen) in pieces {
+            let plan = ys_raid::read_plan(&geo, phys, plen, &failed)?;
+            let (d, mut m) = self.charge_plan_verified(gi, blade, now, &plan)?;
+            done = done.max(d);
+            mismatches.append(&mut m);
+        }
+        Ok(PageVerify { done, mismatches })
+    }
+
+    /// Scrub repair, source 1: reconstruct the rotten span on `disk` from
+    /// its RAID group's redundancy and rewrite it (laying down fresh
+    /// checksums). Fails with [`ClusterError::Integrity`] if a peer read
+    /// is itself rotten (the reconstruction would be garbage) and with
+    /// [`ClusterError::Raid`] when the level has no redundancy to spend.
+    pub fn repair_disk_span_from_parity(
+        &mut self,
+        now: SimTime,
+        blade: usize,
+        disk: DiskId,
+        offset: u64,
+        bytes: u64,
+    ) -> Result<SimTime, ClusterError> {
+        let (gi, member) = self.group_of_disk(disk);
+        let failed = self.group_failed(gi);
+        let geo = self.groups[gi].geo;
+        let plan = ys_raid::repair_plan(&geo, member, offset, bytes, &failed)?;
+        let (done, mismatches) = self.charge_plan_verified(gi, blade, now, &plan)?;
+        if let Some(m) = mismatches.first() {
+            return Err(ClusterError::Integrity { disk: m.disk, offset: m.offset });
+        }
+        Ok(done)
+    }
+
+    /// Scrub repair, source 2: if any up blade still caches `page`, its
+    /// copy is the current data — rewrite it to disk (fresh checksums
+    /// repair the rot). Returns `Ok(None)` when no usable cached copy
+    /// exists (not resident, holder down, or tombstoned lost).
+    pub fn rewrite_page_from_cache(
+        &mut self,
+        now: SimTime,
+        vol: VolumeId,
+        page: u64,
+    ) -> Result<Option<SimTime>, ClusterError> {
+        let key = PageKey::new(vol.0, page);
+        if self.cache.is_lost(key) {
+            return Ok(None);
+        }
+        let holder = self
+            .cache
+            .directory()
+            .get(&key)
+            .map(|e| e.holders())
+            .unwrap_or_default()
+            .into_iter()
+            .find(|&b| self.cache.blade_up(b));
+        let Some(blade) = holder else {
+            return Ok(None);
+        };
+        Ok(Some(self.scrub_rewrite_page(now, blade, vol, page)?))
+    }
+
+    /// Rewrite one volume page to disk from blade `blade` (scrub repair
+    /// install path — also used to land a geo-fetched copy). Pure disk
+    /// traffic: cache metadata is untouched.
+    pub fn scrub_rewrite_page(
+        &mut self,
+        now: SimTime,
+        blade: usize,
+        vol: VolumeId,
+        page: u64,
+    ) -> Result<SimTime, ClusterError> {
+        let pb = self.cfg.page_bytes;
+        let (gi, _) = Self::decode_vol(vol);
+        let failed = self.group_failed(gi);
+        let geo = self.groups[gi].geo;
+        let pieces = self.map_segments(vol, page * pb, pb, false)?;
+        let mut done = now;
+        for (phys, plen) in pieces {
+            let plan = ys_raid::write_plan(&geo, phys, plen, &failed)?;
+            done = done.max(self.charge_plan(gi, blade, now, &plan)?);
+        }
+        Ok(done)
+    }
+
+    /// Copy rot markers from mismatched rebuild source reads onto the
+    /// replacement disk: the reconstructed spans came from untrustworthy
+    /// bytes, so they must stay detectable instead of reading back as
+    /// clean. Returns the number of pages poisoned.
+    pub fn poison_rebuilt_spans(&mut self, target: DiskId, mismatches: &[ReadMismatch]) -> u64 {
+        let mut poisoned = 0u64;
+        for m in mismatches {
+            let bad: Vec<u64> = self
+                .farm
+                .disk(m.disk)
+                .corrupt_offsets()
+                .filter(|&off| off >= m.offset && off < m.offset + m.bytes)
+                .collect();
+            for off in bad {
+                if self.farm.corrupt_page(target, off) {
+                    poisoned += 1;
+                }
+            }
+        }
+        self.stats.rebuild_mismatches += u64::from(poisoned > 0);
+        poisoned
+    }
+
+    /// Run admission control for a background scrub batch as `tenant`
+    /// (Scavenger-class in the shipped configs). Pair with
+    /// [`BladeCluster::qos_complete_as`] when the batch finishes.
+    pub fn qos_admit_as(&mut self, now: SimTime, tenant: u32, bytes: u64) -> Result<SimTime, ClusterError> {
+        self.qos_admit(now, tenant, bytes)
+    }
+
+    /// Report a scrub batch admitted via [`BladeCluster::qos_admit_as`]
+    /// complete, feeding the tenant's SLO ledger.
+    pub fn qos_complete_as(&mut self, tenant: u32, issued: SimTime, done: SimTime, bytes: u64) {
+        self.qos.complete(tenant, issued, done, bytes);
+    }
+
+    /// First up blade, if any — the deterministic default actor for
+    /// administrative work like scrubbing.
+    pub fn any_up_blade(&self) -> Option<usize> {
+        (0..self.cfg.blades).find(|&b| self.cache.blade_up(b))
     }
 }
 

@@ -27,7 +27,10 @@ pub mod scenario;
 pub mod services;
 
 pub use admin::{AdminError, AdminOp, AdminOutcome, ManagementPlane};
-pub use cluster::{BladeCluster, ClusterError, ClusterStats, Completion, RaidGroup, ServedFrom};
+pub use cluster::{
+    BladeCluster, ClusterError, ClusterStats, Completion, PageVerify, RaidGroup, ReadMismatch,
+    ServedFrom,
+};
 pub use config::{ClusterConfig, CostModel, EncryptionConfig, LoadBalance};
 pub use fastpath::{
     deliver_stream, deliver_stream_traced, deliver_streams_fair, FastPathConfig, StreamDemand,

@@ -89,6 +89,9 @@ pub struct GeoStats {
     pub sync_replica_writes: u64,
     pub async_writes_enqueued: u64,
     pub async_writes_shipped: u64,
+    /// Pages re-fetched from a remote site by the scrubber's geo repair
+    /// source ([`NetStorage::geo_fetch_page`]).
+    pub scrub_page_fetches: u64,
 }
 
 /// Disaster-recovery report after a site failure.
@@ -469,6 +472,52 @@ impl NetStorage {
         Ok(pushed_total)
     }
 
+    /// Fetch a known-good copy of `vol`'s page `page` from another site and
+    /// rewrite it locally — the scrubber's third repair source (§7: every
+    /// replica site holds the same data image at the same addresses).
+    /// Candidate sites are tried in ascending id order; one qualifies when
+    /// it is up, reachable over the WAN, has the page's extent mapped, and
+    /// its own checksum-verified read of the page is clean (a rotten remote
+    /// copy is skipped, never trusted). Returns the local install
+    /// completion, or `None` when no viable source exists.
+    pub fn geo_fetch_page(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        vol: VolumeId,
+        page: u64,
+    ) -> Option<SimTime> {
+        if !self.topology.site(site).up {
+            return None;
+        }
+        let pb = self.clusters[site.0].config().page_bytes;
+        let ext = page * pb / self.clusters[site.0].extent_bytes();
+        let blade = self.clusters[site.0].any_up_blade()?;
+        for d in 0..self.clusters.len() {
+            let src = SiteId(d);
+            if d == site.0 || !self.topology.site(src).up || self.topology.link(src, site).is_none()
+            {
+                continue;
+            }
+            if !self.clusters[d].mapped_extents(vol).contains(&ext) {
+                continue; // no copy resident at this site
+            }
+            // Verified read at the source: rot there surfaces as an
+            // Integrity error and the site is skipped.
+            let Ok(c) = self.clusters[d].read(now, 0, vol, page * pb, pb) else {
+                continue;
+            };
+            let Some(arrival) = self.wan_transfer(c.done, src, site, pb) else {
+                continue;
+            };
+            if let Ok(done) = self.clusters[site.0].scrub_rewrite_page(arrival, blade, vol, page) {
+                self.stats.scrub_page_fetches += 1;
+                return Some(done);
+            }
+        }
+        None
+    }
+
     /// Pending async backlog between two sites.
     pub fn async_backlog(&self, src: SiteId, dst: SiteId) -> (u64, u64) {
         self.repl.pending(src, dst)
@@ -754,6 +803,44 @@ mod tests {
         assert_eq!(ns.async_backlog(S0, S1).0, 0, "backlog drains after heal");
         assert_eq!(ns.stats.async_writes_shipped, 4);
         assert_eq!(ns.replication().acked_through(S0, S1), Some(3), "gapless acked prefix");
+    }
+
+    #[test]
+    fn geo_fetch_repairs_local_rot_from_remote_replica() {
+        let mut ns = NetStorage::new(small_sites());
+        let pol = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
+        ns.create_file("/geo.dat", pol, S0).unwrap();
+        let w = ns.write_file(SimTime::ZERO, S0, 0, "/geo.dat", 0, 1 << 20).unwrap();
+        let vol = VolumeId(0);
+        let blade = ns.clusters[1].any_up_blade().unwrap();
+        // Blanket-rot the front of every S1 drive so page 0's backing spans
+        // are certainly hit, wherever the pool placed them.
+        let ndisks = ns.clusters[1].farm.len();
+        for d in 0..ndisks {
+            for off in (0..(2 << 20)).step_by(64 << 10) {
+                ns.clusters[1].corrupt_disk_page(ys_simdisk::DiskId(d), off as u64);
+            }
+        }
+        let probe = ns.clusters[1].verify_page(w.done, blade, vol, 0).unwrap();
+        assert!(!probe.mismatches.is_empty(), "rot must be visible to a scrub probe");
+        // Parity cannot help (peers are rotten too) — the geo copy can.
+        let done = ns.geo_fetch_page(w.done, S1, vol, 0);
+        assert!(done.is_some(), "remote replica is a viable repair source");
+        assert!(done.unwrap() > w.done, "geo repair pays WAN + install time");
+        assert_eq!(ns.stats.scrub_page_fetches, 1);
+        let after = ns.clusters[1].verify_page(done.unwrap(), blade, vol, 0).unwrap();
+        assert!(after.mismatches.is_empty(), "page verifies clean after geo install");
+    }
+
+    #[test]
+    fn geo_fetch_without_any_remote_copy_returns_none() {
+        let mut ns = NetStorage::new(small_sites());
+        let pol = FilePolicy { geo: GeoPolicy::none(), ..FilePolicy::default() };
+        ns.create_file("/only_here.dat", pol, S0).unwrap();
+        let w = ns.write_file(SimTime::ZERO, S0, 0, "/only_here.dat", 0, 1 << 20).unwrap();
+        // No other site has the extent mapped, so there is nothing to fetch.
+        assert!(ns.geo_fetch_page(w.done, S0, VolumeId(0), 0).is_none());
+        assert_eq!(ns.stats.scrub_page_fetches, 0);
     }
 
     #[test]

@@ -113,8 +113,17 @@ impl Rebuilder {
         // One large sequential read per survivor + one sequential write to
         // the replacement, covering the whole batch (see ys-raid::rebuild).
         let plan = rebuild_batch_plan(self.coord.geometry(), self.coord.failed_member(), batch.start, batch.rows());
-        let t = match cluster.charge_io_plan_in(self.group, blade, avail, &plan) {
-            Ok(t) => t,
+        // Verified reads: a latent error on a survivor must not be baked
+        // silently into the replacement. The batch still completes (coverage
+        // must finish), but the affected replacement spans are poisoned so
+        // they stay detectable until a scrub repairs them.
+        let t = match cluster.charge_io_plan_verified_in(self.group, blade, avail, &plan) {
+            Ok((t, mismatches)) => {
+                if !mismatches.is_empty() {
+                    cluster.poison_rebuilt_spans(self.disk, &mismatches);
+                }
+                t
+            }
             Err(e) => {
                 // The worker crashed between claim and complete (e.g. a
                 // survivor member died under it). Its claim must requeue —
@@ -242,6 +251,34 @@ mod tests {
         // No rows may be stranded: everything unfinished is claimable again.
         assert_eq!(r.coordinator().outstanding(), 0, "no claims leaked");
         assert!(r.coordinator().audit_coverage().is_empty());
+    }
+
+    #[test]
+    fn survivor_bitrot_poisons_rebuilt_span_instead_of_silent_copy() {
+        let mut c = cluster(4, 6);
+        // Corrupt a page on a survivor (disk 1) before disk 2 dies; the
+        // rebuild will read it to reconstruct the replacement.
+        assert!(c.corrupt_disk_page(DiskId(1), 0));
+        c.fail_disk(DiskId(2));
+        let mut r = Rebuilder::new(&mut c, SimTime::ZERO, DiskId(2), REGION, &[0, 1], 64);
+        r.run(&mut c).unwrap();
+        assert!(r.is_done(), "rebuild still completes; bitrot is not fatal");
+        assert!(
+            c.disk_page_corrupt(DiskId(2), 0),
+            "replacement span built from a rotten source must stay detectable"
+        );
+        assert!(c.stats.rebuild_mismatches > 0, "mismatch counted");
+        assert!(c.stats.integrity_errors > 0, "verified read observed the rot");
+    }
+
+    #[test]
+    fn clean_rebuild_poisons_nothing() {
+        let mut c = cluster(4, 6);
+        c.fail_disk(DiskId(2));
+        let mut r = Rebuilder::new(&mut c, SimTime::ZERO, DiskId(2), REGION, &[0, 1], 64);
+        r.run(&mut c).unwrap();
+        assert_eq!(c.corrupt_page_count(), 0);
+        assert_eq!(c.stats.rebuild_mismatches, 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ("rebuild", "distributed RAID rebuild scales with worker blades (§2.4, §6.3)"),
     ("georep", "sync vs async geographic replication and the async loss window (§7)"),
     ("noisy-neighbor", "ys-qos admission control isolates a premium tenant from a scavenger flood"),
+    ("bitrot-scrub", "ys-scrub background pass repairs latent rot under foreground load inside the Scavenger isolation bound"),
     ("crash-nway", "ys-chaos campaign: blade crashes at adversarial instants recover clean; a deliberate N-failure shrinks to a replayable counterexample (§6.1)"),
     ("partition-heal", "ys-chaos campaign: WAN trunks cut mid-geo-ship heal gapless — the async backlog drains with no prefix gap (§7)"),
 ];
@@ -41,6 +42,7 @@ pub fn run(name: &str) -> Option<RunReport> {
         "rebuild" => Some(rebuild()),
         "georep" => Some(georep()),
         "noisy-neighbor" => Some(noisy_neighbor()),
+        "bitrot-scrub" => Some(bitrot_scrub()),
         "crash-nway" => Some(crash_nway()),
         "partition-heal" => Some(partition_heal()),
         _ => None,
@@ -565,6 +567,187 @@ fn noisy_neighbor() -> RunReport {
     RunReport {
         scenario: "noisy-neighbor",
         tables: vec![table, adm],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// End-to-end integrity under load: latent media errors rot a data volume
+/// while a premium tenant runs its cache-resident read workload. A
+/// Scavenger-class `ys-scrub` pass walks the cluster between foreground
+/// ops, detects every injected error, and repairs it in place — without
+/// pushing the victim's p99 outside its solo envelope. The scrub is the
+/// noisy neighbor here, and QoS admission keeps it polite.
+fn bitrot_scrub() -> RunReport {
+    use ys_qos::{QosClass, QosConfig, TenantSpec};
+    use ys_scrub::{ScrubConfig, ScrubReport, ScrubTarget, Scrubber};
+    use ys_simcore::time::SimDuration;
+
+    const IO: u64 = 64 * 1024; // victim reads, cache-resident
+    const SET_PAGES: u64 = 64; // 4 MiB victim working set
+    const DATA_BYTES: u64 = 16 << 20; // at-rest volume the rot lands in
+    const ERRORS: u64 = 24;
+    const STRIDE: u64 = 10; // > data members, so every rotten row is unique
+    const VICTIM_OPS: u64 = 400;
+    const VICTIM: u32 = 1;
+    const SCRUB: u32 = 3;
+    let victim_gap = SimDuration::from_millis(2);
+
+    let policy = || {
+        QosConfig::new()
+            .with_tenant(
+                TenantSpec::new(VICTIM, "victim", QosClass::Premium)
+                    .weight(4)
+                    .latency_budget(SimDuration::from_millis(2)),
+            )
+            .with_tenant(
+                TenantSpec::new(SCRUB, "scrubber", QosClass::Scavenger)
+                    .rate_mb_per_sec(50)
+                    .burst_bytes(1 << 20)
+                    .inflight_cap(2),
+            )
+            .with_max_delay(SimDuration::from_millis(5))
+    };
+
+    // One run: write the data volume, rot ERRORS of its pages, warm the
+    // victim's working set, then replay the victim's open-loop read
+    // schedule — optionally with a Scavenger-tenant scrub pass ticking
+    // between foreground ops. Returns the cluster, the victim's exact
+    // latencies, the shed count, and the scrub report (empty when off).
+    let drive = |with_scrub: bool| -> (BladeCluster, Vec<SimDuration>, u64, ScrubReport) {
+        let cfg = ClusterConfig::default()
+            .with_blades(2)
+            .with_disks(8)
+            .with_load_balance(LoadBalance::PageAffinity)
+            .with_qos(policy());
+        let mut c = BladeCluster::new(cfg);
+        let victim = c.create_volume("victim", 0, 1 << 30).expect("volume");
+        let data = c.create_volume("data", 0, 1 << 30).expect("volume");
+        let mut t = SimTime::ZERO;
+        for off in (0..DATA_BYTES).step_by(1 << 20) {
+            t = c.write(t, 0, data, off, 1 << 20, 2, Retention::Normal).expect("write").done;
+        }
+        t = c.drain().max(t);
+        // Latent errors: silent on the media until something verifies them.
+        for i in 0..ERRORS {
+            assert!(c.corrupt_volume_page(data, i * STRIDE).is_some(), "rot lands on mapped page");
+        }
+        for i in 0..SET_PAGES {
+            t = c.read(t, 0, victim, i * IO, IO).expect("warm").done;
+        }
+        let mut scrubber = Scrubber::new(
+            ScrubConfig { tenant: Some(SCRUB), ..ScrubConfig::default() },
+            &c,
+        );
+        let mut latencies = Vec::new();
+        let mut victim_shed = 0u64;
+        let mut scrub_now = t;
+        for i in 0..VICTIM_OPS {
+            let at = t + victim_gap * i;
+            if with_scrub && !scrubber.is_done() {
+                let sheds = scrubber.report().shed_ticks;
+                let mut target = ScrubTarget::Cluster(&mut c);
+                scrub_now = scrubber.tick(&mut target, scrub_now.max(at)).expect("scrub tick");
+                if scrubber.report().shed_ticks > sheds {
+                    scrub_now += ScrubConfig::default().shed_backoff;
+                }
+            }
+            let off = (i % SET_PAGES) * IO;
+            match c.read_as(at, VICTIM, 0, victim, off, IO) {
+                Ok(done) => latencies.push(done.latency),
+                Err(_) => victim_shed += 1,
+            }
+        }
+        // The foreground window closes; the pass trickles to completion.
+        if with_scrub && !scrubber.is_done() {
+            let mut target = ScrubTarget::Cluster(&mut c);
+            scrubber.run(&mut target, scrub_now.max(t + victim_gap * VICTIM_OPS)).expect("scrub finish");
+        }
+        (c, latencies, victim_shed, scrubber.report().clone())
+    };
+    let exact_p99 = |lat: &[SimDuration]| -> SimDuration {
+        let mut v: Vec<SimDuration> = lat.to_vec();
+        v.sort();
+        v[((v.len() * 99) / 100).min(v.len() - 1)]
+    };
+
+    let (unscrubbed, solo_lat, _, _) = drive(false);
+    let (scrubbed, scrub_lat, victim_shed, report) = drive(true);
+
+    let solo = exact_p99(&solo_lat);
+    let under = exact_p99(&scrub_lat);
+    let under_x = under.nanos() as f64 / solo.nanos() as f64;
+    let rot_before = unscrubbed.corrupt_page_count();
+    let rot_after = scrubbed.corrupt_page_count();
+
+    let mut reg = MetricsRegistry::new();
+    collect_qos(&mut reg, scrubbed.qos());
+    reg.gauge(MetricKey::aggregate("scrub", "pages_scanned"), report.pages_scanned as f64);
+    reg.gauge(MetricKey::aggregate("scrub", "mismatch_pages"), report.mismatch_pages as f64);
+    reg.gauge(MetricKey::aggregate("scrub", "repaired"), report.repaired() as f64);
+    reg.gauge(MetricKey::aggregate("scrub", "losses"), report.losses.len() as f64);
+    reg.gauge(MetricKey::aggregate("scrub", "rot_left_on_media"), rot_after as f64);
+    reg.gauge(MetricKey::aggregate("scrub", "victim_p99_solo_us"), solo.as_micros_f64());
+    reg.gauge(MetricKey::aggregate("scrub", "victim_p99_scrubbed_us"), under.as_micros_f64());
+    reg.gauge(MetricKey::aggregate("scrub", "victim_slowdown_scrubbed"), under_x);
+
+    let mut table = Table::new(
+        "victim p99 read latency (400 cache-resident 64 KiB reads)",
+        &["run", "p99 µs", "vs solo"],
+    );
+    table.row(vec!["no scrub".into(), f2(solo.as_micros_f64()), "1.00".into()]);
+    table.row(vec!["background scrub".into(), f2(under.as_micros_f64()), f2(under_x)]);
+    let mut pass = Table::new(
+        &format!("scrub pass ({ERRORS} latent errors injected into a {} MiB volume)", DATA_BYTES >> 20),
+        &["pages", "mismatched", "parity", "replica", "geo", "lost", "ticks", "shed", "forced"],
+    );
+    pass.row(vec![
+        report.pages_scanned.to_string(),
+        report.mismatch_pages.to_string(),
+        report.repaired_parity.to_string(),
+        report.repaired_replica.to_string(),
+        report.repaired_geo.to_string(),
+        report.losses.len().to_string(),
+        report.ticks.to_string(),
+        report.shed_ticks.to_string(),
+        report.forced_ticks.to_string(),
+    ]);
+
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "the scrub pass detects every injected latent error",
+            metric: "scrub.mismatch_pages".into(),
+            observed: report.mismatch_pages.to_string(),
+            target: format!("== {ERRORS} (injected)"),
+            pass: report.mismatch_pages == ERRORS && rot_before == ERRORS as usize,
+        },
+        Checkpoint {
+            claim: "every detected error is repaired in place — the media ends clean",
+            metric: "scrub.repaired / rot_left_on_media".into(),
+            observed: format!("{} / {rot_after}", report.repaired()),
+            target: format!("== {ERRORS} / == 0"),
+            pass: report.fully_repaired() && report.repaired() == ERRORS && rot_after == 0,
+        },
+        Checkpoint {
+            claim: "Scavenger-class scrubbing holds the victim inside its solo envelope",
+            metric: "scrub.victim_slowdown_scrubbed".into(),
+            observed: f2(under_x),
+            target: "<= 1.5".into(),
+            pass: under_x <= 1.5,
+        },
+        Checkpoint {
+            claim: "admission pressure lands on the scrubber, never the victim",
+            metric: "qos.shed (victim)".into(),
+            observed: victim_shed.to_string(),
+            target: "== 0".into(),
+            pass: victim_shed == 0,
+        },
+    ];
+    RunReport {
+        scenario: "bitrot-scrub",
+        tables: vec![table, pass],
         checkpoints,
         registry: reg,
         events: Vec::new(),

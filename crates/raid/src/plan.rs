@@ -144,6 +144,67 @@ pub fn write_plan(geo: &Geometry, offset: u64, len: u64, failed: &[bool]) -> Res
     Ok(plan)
 }
 
+/// Plan the reconstruction of `[offset, offset+bytes)` *on member disk
+/// `member`* from the group's redundancy — the scrub repair path for a
+/// latent media error. The rotten member is readable but untrustworthy, so
+/// the plan treats it exactly like a failed one: read enough surviving
+/// peers to recompute the span, then write the recovered bytes back over
+/// it. RAID0 has no redundancy and always reports loss.
+///
+/// `offset`/`bytes` are member-local (the address a checksum mismatch is
+/// reported at), mirroring [`crate::rebuild::rebuild_batch_plan`].
+pub fn repair_plan(
+    geo: &Geometry,
+    member: usize,
+    offset: u64,
+    bytes: u64,
+    failed: &[bool],
+) -> Result<IoPlan, DataLoss> {
+    assert_eq!(failed.len(), geo.members);
+    assert!(member < geo.members && bytes > 0);
+    // Writing the recovered bytes needs the member itself online.
+    if failed[member] {
+        return Err(DataLoss { failed: 1, tolerated: 0 });
+    }
+    let mut plan = IoPlan::default();
+    match geo.level {
+        RaidLevel::Raid0 => return Err(DataLoss { failed: 1, tolerated: 0 }),
+        RaidLevel::Raid1 { copies } => {
+            // Mirror peers hold the same bytes at the same member-local
+            // offset; copy from any healthy one.
+            let set = member / copies;
+            let peer = (set * copies..(set + 1) * copies)
+                .find(|&m| m != member && !failed[m]);
+            match peer {
+                Some(m) => plan.reads.push(MemberIo { member: m, offset, bytes, write: false }),
+                None => return Err(DataLoss { failed: copies, tolerated: copies - 1 }),
+            }
+        }
+        RaidLevel::Raid5 | RaidLevel::Raid6 => {
+            // The rotten span counts as one more erasure on top of any
+            // failed members; reconstruction reads every survivor's
+            // chunk-aligned covering span.
+            let down = failed.iter().filter(|&&f| f).count();
+            if down + 1 > geo.level.fault_tolerance() {
+                return Err(DataLoss { failed: down + 1, tolerated: geo.level.fault_tolerance() });
+            }
+            let span_start = offset - (offset % geo.chunk_size);
+            let span_end = offset + bytes;
+            let span_end = span_end.div_ceil(geo.chunk_size) * geo.chunk_size;
+            for (m, _) in failed.iter().enumerate().filter(|&(m, &f)| m != member && !f) {
+                plan.reads.push(MemberIo {
+                    member: m,
+                    offset: span_start,
+                    bytes: span_end - span_start,
+                    write: false,
+                });
+            }
+        }
+    }
+    plan.writes.push(MemberIo { member, offset, bytes, write: true });
+    Ok(plan)
+}
+
 /// RAID-5/6 write planning, stripe row by stripe row.
 fn parity_write_plan(geo: &Geometry, offset: u64, len: u64, failed: &[bool]) -> IoPlan {
     let row_bytes = geo.stripe_data_bytes();
@@ -345,6 +406,49 @@ mod tests {
         for io in plan.reads.iter().chain(&plan.writes) {
             assert!(!failed[io.member], "planned I/O to failed member {}", io.member);
         }
+    }
+
+    #[test]
+    fn raid5_repair_reads_peers_and_rewrites_the_rotten_span() {
+        let g = Geometry::new(RaidLevel::Raid5, 4, CHUNK);
+        let plan = repair_plan(&g, 1, 5 * CHUNK + 100, 4096, &no_failures(4)).unwrap();
+        assert_eq!(plan.reads.len(), 3, "every peer of the row");
+        assert!(plan.reads.iter().all(|io| io.member != 1));
+        assert!(plan.reads.iter().all(|io| io.offset == 5 * CHUNK && io.bytes == CHUNK));
+        assert_eq!(plan.writes, vec![MemberIo { member: 1, offset: 5 * CHUNK + 100, bytes: 4096, write: true }]);
+    }
+
+    #[test]
+    fn raid5_repair_fails_once_a_member_is_already_down() {
+        let g = Geometry::new(RaidLevel::Raid5, 4, CHUNK);
+        let mut failed = no_failures(4);
+        failed[3] = true;
+        // Rot + one dead member = two erasures; RAID5 tolerates one.
+        assert!(repair_plan(&g, 1, 0, 4096, &failed).is_err());
+        // RAID6 absorbs the same combination.
+        let g6 = Geometry::new(RaidLevel::Raid6, 6, CHUNK);
+        let mut failed6 = no_failures(6);
+        failed6[3] = true;
+        let plan = repair_plan(&g6, 1, 0, 4096, &failed6).unwrap();
+        assert_eq!(plan.reads.len(), 4, "survivors minus target and dead member");
+    }
+
+    #[test]
+    fn raid1_repair_copies_from_a_mirror_peer() {
+        let g = Geometry::new(RaidLevel::Raid1 { copies: 2 }, 4, CHUNK);
+        let plan = repair_plan(&g, 2, 7 * CHUNK, 4096, &no_failures(4)).unwrap();
+        assert_eq!(plan.reads, vec![MemberIo { member: 3, offset: 7 * CHUNK, bytes: 4096, write: false }]);
+        assert_eq!(plan.writes[0].member, 2);
+        // Peer dead → the mirror set has no clean source.
+        let mut failed = no_failures(4);
+        failed[3] = true;
+        assert!(repair_plan(&g, 2, 0, 4096, &failed).is_err());
+    }
+
+    #[test]
+    fn raid0_repair_is_always_loss() {
+        let g = Geometry::new(RaidLevel::Raid0, 4, CHUNK);
+        assert!(repair_plan(&g, 0, 0, 4096, &no_failures(4)).is_err());
     }
 
     #[test]

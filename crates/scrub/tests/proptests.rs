@@ -1,0 +1,41 @@
+//! Property tests: the integrity promise over random seeds.
+//!
+//! * Every within-budget corruption (one whose protection class still has
+//!   a live repair source) is fully repaired, with the source attributed.
+//! * Every beyond-budget corruption (no source anywhere) becomes an
+//!   explicit `ScrubLoss` — never a silent clean-looking read.
+//! * The campaign transcript is a pure function of the seed.
+
+use proptest::prelude::*;
+use ys_scrub::{run_campaign, CampaignConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Corruptions with a live source (parity / replica / geo classes)
+    /// are always fully repaired and correctly attributed; the rest are
+    /// always declared. Nothing is ever silent.
+    #[test]
+    fn every_corruption_repaired_or_declared(seed in 0u64..10_000) {
+        let r = run_campaign(&CampaignConfig { seed, errors: 56 });
+        prop_assert!(r.ok, "seed {} broke the integrity promise:\n{}", seed, r);
+        prop_assert_eq!(r.detected, r.injected as u64);
+        prop_assert_eq!(r.unaccounted, 0, "silent residue on seed {}", seed);
+        prop_assert_eq!(r.silent_reads, 0, "silent mismatched read on seed {}", seed);
+        // Within-budget classes repaired from exactly their expected source.
+        prop_assert!(r.repaired_parity >= r.injected_per_class[0] as u64);
+        prop_assert!(r.repaired_replica >= r.injected_per_class[1] as u64);
+        prop_assert!(r.repaired_geo >= r.injected_per_class[2] as u64);
+        // Beyond-budget class always explicit, always surfaced on read.
+        prop_assert_eq!(r.declared_lost, r.injected_per_class[3] as u64);
+        prop_assert_eq!(r.explicit_loss_reads, r.injected_per_class[3] as u64);
+    }
+
+    /// Same seed, same transcript — the campaign replays byte-identically.
+    #[test]
+    fn campaign_transcript_is_seed_deterministic(seed in 0u64..10_000) {
+        let a = run_campaign(&CampaignConfig { seed, errors: 52 });
+        let b = run_campaign(&CampaignConfig { seed, errors: 52 });
+        prop_assert_eq!(a.lines, b.lines);
+    }
+}

@@ -5,7 +5,7 @@
 //! [`DiskId`]s. Fibre-channel path time to reach a disk is charged by the
 //! caller via `ys-simnet`; the farm accounts only for drive service.
 
-use crate::model::{Disk, DiskError, DiskOp, DiskSpec};
+use crate::model::{Disk, DiskError, DiskOp, DiskSpec, Verification};
 use ys_simcore::time::SimTime;
 
 /// Farm-wide drive index.
@@ -51,6 +51,37 @@ impl DiskFarm {
 
     pub fn submit(&mut self, id: DiskId, now: SimTime, op: DiskOp) -> Result<SimTime, DiskError> {
         self.disks[id.0].submit(now, op)
+    }
+
+    /// Checksum-verified submit: identical timing to [`DiskFarm::submit`],
+    /// plus the verification verdict for read spans.
+    pub fn submit_verified(
+        &mut self,
+        id: DiskId,
+        now: SimTime,
+        op: DiskOp,
+    ) -> Result<(SimTime, Verification), DiskError> {
+        self.disks[id.0].submit_verified(now, op)
+    }
+
+    /// Inject a latent media error on `id`'s page containing `offset`.
+    pub fn corrupt_page(&mut self, id: DiskId, offset: u64) -> bool {
+        self.disks[id.0].corrupt_page(offset)
+    }
+
+    /// Whether `id`'s page containing `offset` currently fails verification.
+    pub fn is_page_corrupt(&self, id: DiskId, offset: u64) -> bool {
+        self.disks[id.0].is_page_corrupt(offset)
+    }
+
+    /// Farm-wide count of pages currently failing verification.
+    pub fn corrupt_page_count(&self) -> usize {
+        self.disks.iter().map(|d| d.corrupt_page_count()).sum()
+    }
+
+    /// Farm-wide count of checksum mismatches observed by verified reads.
+    pub fn checksum_mismatches(&self) -> u64 {
+        self.disks.iter().map(|d| d.checksum_mismatches()).sum()
     }
 
     pub fn fail(&mut self, id: DiskId) {
@@ -118,6 +149,23 @@ mod tests {
         assert_eq!(f.healthy_disks().count(), 2);
         f.replace(DiskId(1));
         assert_eq!(f.raw_capacity(), full);
+    }
+
+    #[test]
+    fn farm_routes_corruption_to_the_right_drive() {
+        let mut f = farm(3);
+        f.corrupt_page(DiskId(1), 0);
+        assert!(f.is_page_corrupt(DiskId(1), 0));
+        assert!(!f.is_page_corrupt(DiskId(0), 0));
+        assert_eq!(f.corrupt_page_count(), 1);
+        let op = DiskOp::Read { offset: 0, bytes: 4096 };
+        let (_, v0) = f.submit_verified(DiskId(0), SimTime::ZERO, op).unwrap();
+        let (_, v1) = f.submit_verified(DiskId(1), SimTime::ZERO, op).unwrap();
+        assert!(v0.is_verified());
+        assert!(!v1.is_verified());
+        assert_eq!(f.checksum_mismatches(), 1);
+        f.replace(DiskId(1));
+        assert_eq!(f.corrupt_page_count(), 0);
     }
 
     #[test]

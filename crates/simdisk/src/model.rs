@@ -1,6 +1,31 @@
 //! Single-disk service model.
 
+use std::collections::BTreeSet;
 use ys_simcore::time::{Bandwidth, SimDuration, SimTime};
+
+/// Granularity of the at-rest checksum plane: one checksum protects one
+/// 64 KiB page (matching the cluster cache page). Corruption is tracked and
+/// repaired at this unit.
+pub const CHECKSUM_PAGE_BYTES: u64 = 64 * 1024;
+
+/// Outcome of a checksum-verified read: either every covered page matched
+/// its stored checksum, or at least one page is silently rotten. The
+/// mismatch carries no data — callers must treat the whole read as poisoned
+/// and go to a redundant source (parity, cache replica, geo copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verification {
+    /// All covered pages matched their checksums.
+    Verified,
+    /// At least one covered page failed verification (latent media error).
+    ChecksumMismatch,
+}
+
+impl Verification {
+    /// True iff the read verified clean.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verification::Verified)
+    }
+}
 
 /// Mechanical and interface parameters of one drive.
 #[derive(Clone, Copy, Debug)]
@@ -110,6 +135,11 @@ pub struct Disk {
     writes: u64,
     bytes_read: u64,
     bytes_written: u64,
+    /// Page indices (offset / [`CHECKSUM_PAGE_BYTES`]) whose media has
+    /// rotted since they were last written. Silent until a verified read
+    /// or a scrub looks; plain `submit` timing is unaffected.
+    corrupt: BTreeSet<u64>,
+    mismatches: u64,
 }
 
 impl Disk {
@@ -124,6 +154,8 @@ impl Disk {
             writes: 0,
             bytes_read: 0,
             bytes_written: 0,
+            corrupt: BTreeSet::new(),
+            mismatches: 0,
         }
     }
 
@@ -140,6 +172,8 @@ impl Disk {
     }
 
     /// Replace the drive with a fresh unit: empty, healthy, head at zero.
+    /// Fresh media carries fresh checksums, so any rot dies with the old
+    /// platters.
     pub fn replace(&mut self) {
         self.failed = false;
         self.head = 0;
@@ -147,6 +181,62 @@ impl Disk {
         self.writes = 0;
         self.bytes_read = 0;
         self.bytes_written = 0;
+        self.corrupt.clear();
+    }
+
+    /// Inject a latent media error on the page containing `offset`. The
+    /// rot is silent — nothing notices until a verified read or a scrub
+    /// covers the page. Returns false (no-op) past the end of the medium.
+    pub fn corrupt_page(&mut self, offset: u64) -> bool {
+        if offset >= self.spec.capacity_bytes {
+            return false;
+        }
+        self.corrupt.insert(offset / CHECKSUM_PAGE_BYTES);
+        true
+    }
+
+    /// Whether the page containing `offset` currently fails verification.
+    pub fn is_page_corrupt(&self, offset: u64) -> bool {
+        self.corrupt.contains(&(offset / CHECKSUM_PAGE_BYTES))
+    }
+
+    /// Number of pages currently failing verification.
+    pub fn corrupt_page_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// Byte offsets (page-aligned, ascending) of every rotten page.
+    pub fn corrupt_offsets(&self) -> impl Iterator<Item = u64> + '_ {
+        self.corrupt.iter().map(|p| p * CHECKSUM_PAGE_BYTES)
+    }
+
+    /// Checksum mismatches observed by verified reads so far.
+    pub fn checksum_mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Would `op`'s span fail verification right now?
+    fn span_corrupt(&self, op: &DiskOp) -> bool {
+        if op.bytes() == 0 || self.corrupt.is_empty() {
+            return false;
+        }
+        let first = op.offset() / CHECKSUM_PAGE_BYTES;
+        let last = (op.end() - 1) / CHECKSUM_PAGE_BYTES;
+        self.corrupt.range(first..=last).next().is_some()
+    }
+
+    /// Drop rot markers on every page `op` touches: a write lays down
+    /// fresh checksums over the whole span (the controller writes full
+    /// checksum units).
+    fn clear_span(&mut self, op: &DiskOp) {
+        if op.bytes() == 0 || self.corrupt.is_empty() {
+            return;
+        }
+        let first = op.offset() / CHECKSUM_PAGE_BYTES;
+        let last = (op.end() - 1) / CHECKSUM_PAGE_BYTES;
+        for p in first..=last {
+            self.corrupt.remove(&p);
+        }
     }
 
     pub fn next_free(&self) -> SimTime {
@@ -183,11 +273,31 @@ impl Disk {
         if op.is_write() {
             self.writes += 1;
             self.bytes_written += op.bytes();
+            self.clear_span(&op);
         } else {
             self.reads += 1;
             self.bytes_read += op.bytes();
         }
         Ok(done)
+    }
+
+    /// Queue `op` at `now` and verify checksums over its span. Timing is
+    /// identical to [`Disk::submit`] — verification is a metadata check,
+    /// not extra I/O — so a corruption-free run is byte-identical either
+    /// way. Writes always verify (they lay down fresh checksums).
+    pub fn submit_verified(
+        &mut self,
+        now: SimTime,
+        op: DiskOp,
+    ) -> Result<(SimTime, Verification), DiskError> {
+        let done = self.submit(now, op)?;
+        let verdict = if !op.is_write() && self.span_corrupt(&op) {
+            self.mismatches += 1;
+            Verification::ChecksumMismatch
+        } else {
+            Verification::Verified
+        };
+        Ok((done, verdict))
     }
 
     pub fn utilization(&self, until: SimTime) -> f64 {
@@ -290,6 +400,69 @@ mod tests {
         d.submit(SimTime::ZERO, DiskOp::Write { offset: 5000, bytes: 2000 }).unwrap();
         assert_eq!((d.reads(), d.writes()), (1, 1));
         assert_eq!((d.bytes_read(), d.bytes_written()), (1000, 2000));
+    }
+
+    #[test]
+    fn corruption_is_silent_until_verified() {
+        let mut d = disk();
+        assert!(d.corrupt_page(3 * CHECKSUM_PAGE_BYTES + 17));
+        // Plain submit never looks at checksums.
+        let op = DiskOp::Read { offset: 3 * CHECKSUM_PAGE_BYTES, bytes: 4096 };
+        assert!(d.submit(SimTime::ZERO, op).is_ok());
+        assert_eq!(d.checksum_mismatches(), 0);
+        // A verified read of the same span flags it.
+        let (_, v) = d.submit_verified(SimTime::ZERO, op).unwrap();
+        assert_eq!(v, Verification::ChecksumMismatch);
+        assert_eq!(d.checksum_mismatches(), 1);
+        // Clean span verifies fine.
+        let clean = DiskOp::Read { offset: 0, bytes: 4096 };
+        let (_, v) = d.submit_verified(SimTime::ZERO, clean).unwrap();
+        assert!(v.is_verified());
+    }
+
+    #[test]
+    fn verified_timing_matches_plain_submit() {
+        let mut a = disk();
+        let mut b = disk();
+        b.corrupt_page(0);
+        let op = DiskOp::Read { offset: 0, bytes: 64 * 1024 };
+        let t_plain = a.submit(SimTime::ZERO, op).unwrap();
+        let (t_verified, v) = b.submit_verified(SimTime::ZERO, op).unwrap();
+        assert_eq!(t_plain, t_verified, "verification must not cost simulated time");
+        assert_eq!(v, Verification::ChecksumMismatch);
+    }
+
+    #[test]
+    fn writes_lay_down_fresh_checksums() {
+        let mut d = disk();
+        d.corrupt_page(0);
+        d.corrupt_page(CHECKSUM_PAGE_BYTES);
+        assert_eq!(d.corrupt_page_count(), 2);
+        // Overwriting a rotten span repairs it; the neighbour stays rotten.
+        d.submit(SimTime::ZERO, DiskOp::Write { offset: 0, bytes: 4096 }).unwrap();
+        assert!(!d.is_page_corrupt(0));
+        assert!(d.is_page_corrupt(CHECKSUM_PAGE_BYTES));
+        assert_eq!(d.corrupt_offsets().collect::<Vec<_>>(), vec![CHECKSUM_PAGE_BYTES]);
+    }
+
+    #[test]
+    fn replacement_media_is_clean() {
+        let mut d = disk();
+        d.corrupt_page(0);
+        d.fail();
+        d.replace();
+        assert_eq!(d.corrupt_page_count(), 0);
+        let (_, v) = d
+            .submit_verified(SimTime::ZERO, DiskOp::Read { offset: 0, bytes: 512 })
+            .unwrap();
+        assert!(v.is_verified());
+    }
+
+    #[test]
+    fn corrupting_past_the_medium_is_a_noop() {
+        let mut d = disk();
+        assert!(!d.corrupt_page(d.spec.capacity_bytes + 1));
+        assert_eq!(d.corrupt_page_count(), 0);
     }
 
     #[test]

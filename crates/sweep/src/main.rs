@@ -9,24 +9,28 @@
 //! timers into the snapshot collector; the library stays clock-free.
 
 use std::process::ExitCode;
-use ys_sweep::{bench_sweep, chaos_sweep, check_sweep, default_threads, snapshot, SweepOutcome};
+use ys_sweep::{
+    bench_sweep, chaos_sweep, check_sweep, default_threads, scrub_sweep, snapshot, SweepOutcome,
+};
 
 const USAGE: &str = "\
 ys-sweep: parallel deterministic multi-seed runner
 
 USAGE:
     ys-sweep chaos [--seeds LIST] [--steps N] [--fatal] [--jobs N]
+    ys-sweep scrub [--seeds LIST] [--errors N] [--jobs N]
     ys-sweep check [--models a,b] [--depth N] [--max-states N] [--jobs N]
     ys-sweep bench [--seeds LIST] [--jobs N]
     ys-sweep snapshot [--out PATH] [--check] [--jobs N]
 
 OPTIONS:
     --seeds LIST    Comma list (1,2,7) or half-open range (1..9).
-                    Defaults: chaos 1..5, bench 1..9.
+                    Defaults: chaos 1..5, scrub 1..5, bench 1..9.
     --steps N       Chaos workload steps per campaign (default 32).
     --fatal         Chaos campaigns expect (and shrink) an acked-write loss.
-    --models a,b    Standard models to check (default all four:
-                    cache,virt,qos,failover).
+    --errors N      Latent errors per scrub campaign (default 64).
+    --models a,b    Standard models to check (default all five:
+                    cache,virt,qos,failover,integrity).
     --depth N       Exploration depth for check shards (default 4).
     --max-states N  State cap for check shards (default 2000000).
     --out PATH      Snapshot path (default BENCH_baseline.json).
@@ -65,6 +69,7 @@ struct Args {
     seeds: Option<Vec<u64>>,
     steps: u64,
     fatal: bool,
+    errors: usize,
     models: Vec<String>,
     depth: usize,
     max_states: usize,
@@ -76,7 +81,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let mode = match it.next() {
-        Some(m) if matches!(m.as_str(), "chaos" | "check" | "bench" | "snapshot") => m,
+        Some(m) if matches!(m.as_str(), "chaos" | "scrub" | "check" | "bench" | "snapshot") => m,
         Some(m) if matches!(m.as_str(), "-h" | "--help") => return Err(String::new()),
         Some(m) => return Err(format!("unknown mode {m}")),
         None => return Err("missing mode".into()),
@@ -86,7 +91,8 @@ fn parse_args() -> Result<Args, String> {
         seeds: None,
         steps: 32,
         fatal: false,
-        models: ["cache", "virt", "qos", "failover"].map(String::from).to_vec(),
+        errors: 64,
+        models: ["cache", "virt", "qos", "failover", "integrity"].map(String::from).to_vec(),
         depth: 4,
         max_states: 2_000_000,
         out: "BENCH_baseline.json".into(),
@@ -102,6 +108,10 @@ fn parse_args() -> Result<Args, String> {
                 args.steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
             }
             "--fatal" => args.fatal = true,
+            "--errors" => {
+                let v = val("--errors")?;
+                args.errors = v.parse().map_err(|_| format!("bad --errors {v}"))?;
+            }
             "--models" => {
                 args.models = val("--models")?.split(',').filter(|m| !m.is_empty()).map(String::from).collect();
             }
@@ -169,6 +179,12 @@ fn main() -> ExitCode {
         "chaos" => {
             let seeds = args.seeds.clone().unwrap_or_else(|| (1..5).collect());
             let SweepOutcome { report, ok } = chaos_sweep(&seeds, args.steps, args.fatal, args.jobs);
+            print!("{report}");
+            ok
+        }
+        "scrub" => {
+            let seeds = args.seeds.clone().unwrap_or_else(|| (1..5).collect());
+            let SweepOutcome { report, ok } = scrub_sweep(&seeds, args.errors, args.jobs);
             print!("{report}");
             ok
         }

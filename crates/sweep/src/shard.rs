@@ -47,6 +47,33 @@ pub fn chaos_sweep(seeds: &[u64], steps: u64, fatal: bool, jobs: usize) -> Sweep
     SweepOutcome { report, ok }
 }
 
+/// Fan one end-to-end integrity campaign per seed across `jobs` workers.
+///
+/// Each shard runs `ys_scrub::run_campaign` for its seed and renders
+/// exactly what a serial `ys-scrub --seed N` prints (transcript and
+/// verdict), so the merged report is byte-identical for every `--jobs`
+/// value.
+pub fn scrub_sweep(seeds: &[u64], errors: usize, jobs: usize) -> SweepOutcome {
+    let runs = run_sweep(seeds.to_vec(), jobs, |&seed| {
+        ys_scrub::run_campaign(&ys_scrub::CampaignConfig { seed, errors })
+    });
+    let mut report = String::new();
+    let mut ok = true;
+    for (seed, run) in seeds.iter().zip(&runs) {
+        let _ = writeln!(report, "=== ys-scrub seed {seed} ===");
+        let _ = write!(report, "{run}");
+        let _ = writeln!(report, "ys-scrub: seed {seed} {}", if run.ok { "PASS" } else { "FAIL" });
+        ok &= run.ok;
+    }
+    let _ = writeln!(
+        report,
+        "ys-sweep: {} campaigns, {} failed",
+        seeds.len(),
+        runs.iter().filter(|r| !r.ok).count()
+    );
+    SweepOutcome { report, ok }
+}
+
 /// Fan the named standard model checks across `jobs` workers.
 ///
 /// Each shard runs one bounded exploration through
@@ -115,6 +142,16 @@ mod tests {
         let parallel = chaos_sweep(&seeds, 16, false, 4);
         assert_eq!(serial.report, parallel.report, "jobs count changed the merged report");
         assert!(serial.ok);
+    }
+
+    #[test]
+    fn scrub_sweep_parallel_is_byte_identical_to_serial() {
+        let seeds = [1u64, 2, 3];
+        let serial = scrub_sweep(&seeds, 56, 1);
+        let parallel = scrub_sweep(&seeds, 56, 3);
+        assert_eq!(serial.report, parallel.report, "jobs count changed the merged report");
+        assert!(serial.ok, "{}", serial.report);
+        assert!(serial.report.contains("=== ys-scrub seed 2 ==="));
     }
 
     #[test]

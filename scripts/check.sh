@@ -23,6 +23,12 @@ fi
 echo "==> ys-chaos fault-campaign smoke + in-process double-run (seed 4, 64 steps)"
 cargo run -q -p ys-chaos -- --seed 4 --steps 64 --double-run --quiet
 
+# End-to-end integrity: a seeded latent-error campaign must detect every
+# injected corruption and repair it (with the source attributed) or
+# declare it lost explicitly — plus the in-process byte-identity replay.
+echo "==> ys-scrub latent-error campaign + in-process double-run (seed 4, 64 errors)"
+cargo run -q -p ys-scrub -- --seed 4 --errors 64 --double-run --quiet
+
 # Cross-process byte-identity: two separate invocations of the same seed
 # must print identical transcripts. The in-process double-run above already
 # catches per-instance hasher drift; this one also covers anything that
