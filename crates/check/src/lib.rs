@@ -14,7 +14,11 @@
 //!   counter monotonicity (`ys-qos`);
 //! * end-to-end integrity — a rotten page is never read back clean, and a
 //!   scrub either repairs it from a live source or declares an explicit
-//!   loss (`ys-simdisk`'s checksum plane + `ys-scrub`'s repair protocol).
+//!   loss (`ys-simdisk`'s checksum plane + `ys-scrub`'s repair protocol);
+//! * security enforcement — the real LUN mask and fail-closed zoning vs a
+//!   shadow ACL: no post-revoke access ever succeeds, no unzoned port is
+//!   admitted, every denial is audited, and no frame crosses a site
+//!   boundary as plaintext (`ys-security`).
 //!
 //! States deduplicate by a canonical 128-bit hash that normalizes unbounded
 //! counters (absolute write versions hash as ranks), so the explored space
@@ -31,6 +35,7 @@ pub mod failover_model;
 pub mod hash;
 pub mod integrity_model;
 pub mod qos_model;
+pub mod security_model;
 pub mod summary;
 pub mod virt_model;
 
@@ -40,5 +45,6 @@ pub use failover_model::{render_failover_trace, FailoverModel, FailoverOp, Failo
 pub use hash::StateHasher;
 pub use integrity_model::{render_integrity_trace, IntegrityModel, IntegrityOp, IntegrityScope};
 pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};
+pub use security_model::{render_security_trace, SecurityModel, SecurityOp, SecurityScope};
 pub use summary::{render_summary, run_standard, StandardRun, STANDARD_MODELS};
 pub use virt_model::{render_virt_trace, VirtModel, VirtOp, VirtScope};

@@ -13,9 +13,10 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore_timed, render_failover_trace, render_integrity_trace, render_qos_trace, render_trace,
-    render_virt_trace, CacheModel, Exploration, FailoverModel, FailoverScope, IntegrityModel,
-    IntegrityScope, Limits, QosModel, QosScope, Scope, SearchOrder, VirtModel, VirtScope,
+    explore_timed, render_failover_trace, render_integrity_trace, render_qos_trace,
+    render_security_trace, render_trace, render_virt_trace, CacheModel, Exploration, FailoverModel,
+    FailoverScope, IntegrityModel, IntegrityScope, Limits, QosModel, QosScope, Scope, SearchOrder,
+    SecurityModel, SecurityScope, VirtModel, VirtScope,
 };
 
 /// Wall-clock reader injected into [`explore_timed`]. The library stays
@@ -37,6 +38,7 @@ struct Args {
     qos: bool,
     failover: bool,
     integrity: bool,
+    security: bool,
 }
 
 impl Default for Args {
@@ -53,6 +55,7 @@ impl Default for Args {
             qos: false,
             failover: false,
             integrity: false,
+            security: false,
         }
     }
 }
@@ -74,6 +77,7 @@ OPTIONS:
   --qos            check the ys-qos admission controller instead
   --failover       check the §6.1 crash/promote/destage failover protocol
   --integrity      check the checksum / scrub repair-or-declare protocol
+  --security       check LUN masking / zoning / wire-cipher enforcement
   -h, --help       print this help
 ";
 
@@ -99,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--qos" => args.qos = true,
             "--failover" => args.failover = true,
             "--integrity" => args.integrity = true,
+            "--security" => args.security = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -129,7 +134,22 @@ fn main() -> ExitCode {
     };
     let limits = Limits { max_depth: args.depth, max_states: args.max_states };
 
-    if args.integrity {
+    if args.security {
+        let scope = SecurityScope::small();
+        let result = explore_timed(SecurityModel::new(scope), limits, args.order, wall_timer());
+        report(
+            &format!(
+                "security model, {} initiators × {} volumes × {} ports, depth {}",
+                scope.initiators, scope.volumes, scope.ports, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_security_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else if args.integrity {
         let scope = IntegrityScope::small();
         let result = explore_timed(IntegrityModel::new(scope), limits, args.order, wall_timer());
         report(

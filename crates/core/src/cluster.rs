@@ -15,7 +15,7 @@ use ys_cache::{CacheCluster, CacheError, PageKey, ReadOutcome, Retention};
 use ys_raid::{Geometry, IoPlan};
 use ys_simcore::stats::{LatencyHisto, RateMeter};
 use ys_simcore::time::{SimDuration, SimTime};
-use ys_simdisk::{DiskFarm, DiskId, DiskOp};
+use ys_simdisk::{DiskFarm, DiskId, DiskOp, PAGE_TAG_BYTES};
 use ys_simdisk::Verification;
 use ys_qos::{AdmissionController, Decision, Pressure, ShedReason};
 use ys_simnet::{catalog, Fabric, Link, LinkSpec};
@@ -137,6 +137,11 @@ pub struct ClusterStats {
     pub rebuild_mismatches: u64,
     /// Pages a scrub declared unrepairable (explicit `ScrubLoss`).
     pub scrub_losses: u64,
+    /// Pages whose media bytes were ciphered on destage (at-rest stage on).
+    pub pages_ciphered: u64,
+    /// Disk-sourced pages whose media bytes were deciphered and verified
+    /// against the expected plaintext on the way back up.
+    pub pages_deciphered: u64,
 }
 
 /// One RAID group inside the cluster: a geometry over a contiguous range
@@ -270,7 +275,9 @@ impl BladeCluster {
     /// UNMAP a range of extents from a volume; returns extents freed.
     pub fn unmap_volume(&mut self, vol: VolumeId, extent_off: u64, extents: u64) -> Result<u64, ClusterError> {
         let (gi, local) = Self::decode_vol(vol);
-        Ok(self.groups[gi].volumes.unmap(local, extent_off, extents)?)
+        let freed = self.groups[gi].volumes.unmap(local, extent_off, extents)?;
+        self.scrub_reclaimed_extents(gi);
+        Ok(freed)
     }
 
     /// Point-in-time snapshot of a volume (§7.2).
@@ -282,7 +289,9 @@ impl BladeCluster {
     /// Delete a volume, releasing its extents (and its snapshots').
     pub fn delete_volume(&mut self, vol: VolumeId) -> Result<(), ClusterError> {
         let (gi, local) = Self::decode_vol(vol);
-        Ok(self.groups[gi].volumes.delete(local)?)
+        self.groups[gi].volumes.delete(local)?;
+        self.scrub_reclaimed_extents(gi);
+        Ok(())
     }
 
     /// Grow a volume's virtual size (free for DMSDs, §3).
@@ -310,19 +319,47 @@ impl BladeCluster {
         let eb = self.cfg.extent_bytes;
         let (moved, copies) = self.groups[gi].volumes.relocate(local, extent_off, extents)?;
         let mut done = now;
-        for (old_phys, new_phys, len) in copies {
+        for &(old_phys, new_phys, len) in &copies {
             let read = ys_raid::read_plan(&geo, old_phys * eb, len * eb, &failed)?;
             let t = self.charge_plan(gi, blade, now, &read)?;
             let write = ys_raid::write_plan(&geo, new_phys * eb, len * eb, &failed)?;
             done = done.max(self.charge_plan(gi, blade, t, &write)?);
         }
+        // Data plane: the media bytes travel with the copy, page by page,
+        // before the vacated extents are trimmed below. The cipher nonce is
+        // the *logical* page index, so relocated ciphertext stays valid.
+        let disk_base = self.groups[gi].disk_base;
+        let pb = self.cfg.page_bytes;
+        let none_failed = vec![false; geo.members];
+        for &(old_phys, new_phys, len) in &copies {
+            let mut off = 0;
+            while off < len * eb {
+                let span = pb.min(len * eb - off);
+                if let (Ok(from), Ok(to)) = (
+                    ys_raid::read_plan(&geo, old_phys * eb + off, span, &none_failed),
+                    ys_raid::read_plan(&geo, new_phys * eb + off, span, &none_failed),
+                ) {
+                    if let (Some(src), Some(dst)) = (from.reads.first(), to.reads.first()) {
+                        if let Some(tag) =
+                            self.farm.read_page_tag(DiskId(disk_base + src.member), src.offset)
+                        {
+                            self.farm.write_page_tag(DiskId(disk_base + dst.member), dst.offset, tag);
+                        }
+                    }
+                }
+                off += pb;
+            }
+        }
+        self.scrub_reclaimed_extents(gi);
         Ok((moved, done))
     }
 
     /// Delete a snapshot; returns extents reclaimed.
     pub fn delete_snapshot(&mut self, vol: VolumeId, snap: ys_virt::SnapshotId) -> Result<u64, ClusterError> {
         let (gi, local) = Self::decode_vol(vol);
-        Ok(self.groups[gi].volumes.delete_snapshot(local, snap)?)
+        let freed = self.groups[gi].volumes.delete_snapshot(local, snap)?;
+        self.scrub_reclaimed_extents(gi);
+        Ok(freed)
     }
 
     /// Roll a volume back to a snapshot (instant recovery, §7.2 / ref \[1\]).
@@ -331,6 +368,7 @@ impl BladeCluster {
     pub fn rollback_volume(&mut self, vol: VolumeId, snap: ys_virt::SnapshotId) -> Result<u64, ClusterError> {
         let (gi, local) = Self::decode_vol(vol);
         let freed = self.groups[gi].volumes.rollback(local, snap)?;
+        self.scrub_reclaimed_extents(gi);
         // Invalidate the volume's cached pages everywhere: the mapping
         // underneath them changed.
         let keys: Vec<PageKey> = self
@@ -505,6 +543,108 @@ impl BladeCluster {
         SimDuration::from_nanos((bytes as f64 * per_byte) as u64)
     }
 
+    /// Per-volume cipher key, derived from the cluster master seed (§5.1's
+    /// key hierarchy): each volume's key is a keyed hash of its id under
+    /// the master key, so disclosing one volume's key reveals nothing
+    /// about its neighbours'.
+    pub fn volume_key(&self, vol: VolumeId) -> ys_security::Key {
+        let master = ys_security::Key::from_seed(self.cfg.master_key_seed);
+        ys_security::Key::from_seed(ys_security::keyed_hash(&master, &vol.0.to_be_bytes()))
+    }
+
+    /// The deterministic plaintext the data plane expects for `vol`'s page
+    /// `page` — the representative bytes a host "wrote" there.
+    pub fn plaintext_page_tag(vol: VolumeId, page: u64) -> [u8; PAGE_TAG_BYTES] {
+        let mut tag = [0u8; PAGE_TAG_BYTES];
+        tag[..4].copy_from_slice(&vol.0.to_be_bytes());
+        tag[4..12].copy_from_slice(&page.to_be_bytes());
+        tag[12..].copy_from_slice(b"page");
+        tag
+    }
+
+    /// The bytes that belong on the media for `vol`'s page `page`: the
+    /// plaintext tag, ciphered under the per-volume key when at-rest
+    /// encryption is on. The page index is the CTR nonce — the
+    /// per-(key, nonce) subkey derivation keeps every page's keystream
+    /// disjoint under one volume key.
+    fn media_page_tag(&self, vol: VolumeId, page: u64) -> [u8; PAGE_TAG_BYTES] {
+        let mut tag = Self::plaintext_page_tag(vol, page);
+        if self.cfg.encryption.at_rest {
+            ys_security::ctr_xor(&self.volume_key(vol), page, 0, &mut tag);
+        }
+        tag
+    }
+
+    /// Stamp the media bytes for `vol`'s page onto its backing disk — the
+    /// data-plane half of a destage or scrub rewrite. Timing is charged by
+    /// the caller; unmapped pages are a no-op.
+    fn stamp_page_tag(&mut self, vol: VolumeId, page: u64) {
+        if let Some((disk, offset)) = self.locate_volume_page(vol, page) {
+            let tag = self.media_page_tag(vol, page);
+            if self.farm.write_page_tag(disk, offset, tag) && self.cfg.encryption.at_rest {
+                self.stats.pages_ciphered += 1;
+            }
+        }
+    }
+
+    /// Raw media bytes currently backing `vol`'s page — what a removed
+    /// disk would disclose (§5.1's warranty-return scenario). Ciphertext
+    /// when at-rest encryption is on; `None` before the first destage.
+    pub fn media_tag(&mut self, vol: VolumeId, page: u64) -> Option<[u8; PAGE_TAG_BYTES]> {
+        let (disk, offset) = self.locate_volume_page(vol, page)?;
+        self.farm.read_page_tag(disk, offset)
+    }
+
+    /// Pull the media bytes for `vol`'s page back through the cipher and
+    /// check them against the expected plaintext. `Ok(())` when the page
+    /// has no data-plane bytes yet (never destaged, or rebuilt media).
+    fn check_page_tag(&mut self, vol: VolumeId, page: u64) -> Result<(), ClusterError> {
+        let Some((disk, offset)) = self.locate_volume_page(vol, page) else {
+            return Ok(());
+        };
+        let Some(mut tag) = self.farm.read_page_tag(disk, offset) else {
+            return Ok(());
+        };
+        if self.cfg.encryption.at_rest {
+            ys_security::ctr_xor(&self.volume_key(vol), page, 0, &mut tag);
+            self.stats.pages_deciphered += 1;
+        }
+        if tag != Self::plaintext_page_tag(vol, page) {
+            return Err(ClusterError::Integrity { disk, offset });
+        }
+        Ok(())
+    }
+
+    /// Discard the media bytes of every extent the group's pool reclaimed
+    /// since the last drain. Refcount-zero extents go back on the free
+    /// list; without this trim a recycled extent resurfaces its previous
+    /// life's bytes — a stale-tag integrity false positive at best, and a
+    /// §5 disclosure hole (the next tenant reads the previous owner's
+    /// media) at worst. Each page's tag lives where [`Self::stamp_page_tag`]
+    /// put it: the first data span of the page's read plan.
+    fn scrub_reclaimed_extents(&mut self, gi: usize) {
+        let freed = self.groups[gi].volumes.take_reclaimed();
+        if freed.is_empty() {
+            return;
+        }
+        let geo = self.groups[gi].geo;
+        let disk_base = self.groups[gi].disk_base;
+        let eb = self.cfg.extent_bytes;
+        let pb = self.cfg.page_bytes;
+        let none_failed = vec![false; geo.members];
+        for e in freed {
+            let mut off = 0;
+            while off < eb {
+                if let Ok(plan) = ys_raid::read_plan(&geo, e * eb + off, pb.min(eb - off), &none_failed) {
+                    if let Some(io) = plan.reads.first() {
+                        self.farm.clear_page_tag(DiskId(disk_base + io.member), io.offset);
+                    }
+                }
+                off += pb;
+            }
+        }
+    }
+
     /// Apply every destage whose disk write has completed by `now`, and
     /// land every prefetch whose disk read has arrived.
     pub fn advance(&mut self, now: SimTime) {
@@ -638,6 +778,10 @@ impl BladeCluster {
         let last_ext = (offset + len - 1) / eb;
         if allocate {
             self.groups[gi].volumes.write(local, first_ext, last_ext - first_ext + 1)?;
+            // A COW redirect may have released extents; trim anything that
+            // reached refcount zero (backstop: also drains frees from any
+            // path above) before a stale tag can be stamped over or read.
+            self.scrub_reclaimed_extents(gi);
         }
         let segs = self.groups[gi].volumes.read(local, first_ext, last_ext - first_ext + 1)?;
         let mut out = Vec::new();
@@ -710,6 +854,7 @@ impl BladeCluster {
                             let plan = ys_raid::read_plan(&geo, phys, plen, &failed)?;
                             disk_done = disk_done.max(self.charge_plan_strict(gi, blade, t0, &plan)?);
                         }
+                        self.check_page_tag(vol, page)?;
                         let dec = self.crypt_time(pb, self.cfg.encryption.at_rest);
                         self.cpus[blade].transfer(disk_done + dec, piece).arrival
                     }
@@ -736,6 +881,9 @@ impl BladeCluster {
                             let plan = ys_raid::read_plan(&geo, phys, plen, &failed)?;
                             disk_done = disk_done.max(self.charge_plan_strict(gi, blade, t0, &plan)?);
                         }
+                        // Real data plane: the media bytes must decipher
+                        // back to the expected plaintext.
+                        self.check_page_tag(vol, page)?;
                         // At-rest decryption on the way up.
                         let dec = self.crypt_time(pb, self.cfg.encryption.at_rest);
                         let filled = self.cpus[blade].transfer(disk_done + dec, piece).arrival;
@@ -901,6 +1049,9 @@ impl BladeCluster {
                 let plan = ys_raid::write_plan(&geo, phys, plen, &failed)?;
                 destage_done = destage_done.max(self.charge_plan(gi, blade, ack + enc, &plan)?);
             }
+            // Data plane: what lands on the media is the (possibly
+            // ciphered) page bytes, not the plaintext.
+            self.stamp_page_tag(vol, page);
             self.pending.push(Reverse((destage_done.nanos(), key.volume, key.page, outcome.version)));
         }
         let latency = ack.since(now);
@@ -1231,6 +1382,10 @@ impl BladeCluster {
             let plan = ys_raid::write_plan(&geo, phys, plen, &failed)?;
             done = done.max(self.charge_plan(gi, blade, now, &plan)?);
         }
+        // A repair install rewrites the page's media bytes too, so a
+        // scrubbed page reads back byte-identical (still ciphertext when
+        // at-rest encryption is on).
+        self.stamp_page_tag(vol, page);
         Ok(done)
     }
 
@@ -1336,6 +1491,33 @@ mod tests {
     }
 
     #[test]
+    fn recycled_extents_carry_no_previous_life_bytes() {
+        let (mut c, vol) = small();
+        let mb = 1u64 << 20;
+        let page = 64 * 1024;
+        // Fill extent 0 and destage: its media pages now carry tags.
+        let w = c.write(SimTime::ZERO, 0, vol, 0, mb, 1, Retention::Normal).unwrap();
+        c.drain();
+        let snap = c.snapshot_volume(vol).unwrap();
+        // Diverge the whole extent: COW redirects to fresh physicals, and
+        // the destage stamps those too.
+        let w2 = c.write(w.done, 0, vol, 0, mb, 1, Retention::Normal).unwrap();
+        c.drain();
+        // Roll back: the diverged physicals return to the pool still warm.
+        c.rollback_volume(vol, snap).unwrap();
+        // Reuse them for a *different* logical range — one page written,
+        // the rest of the extent mapped but never destaged.
+        let w3 = c.write(w2.done, 0, vol, 8 * mb, page, 1, Retention::Normal).unwrap();
+        // Reading a mapped-but-never-written page of the recycled extent
+        // must not trip integrity on the previous life's media bytes...
+        let r = c.read(w3.done, 0, vol, 8 * mb + 2 * page, page);
+        assert!(r.is_ok(), "stale media bytes on a recycled extent: {:?}", r.err());
+        // ...and the §5 disclosure angle: the recycled media discloses
+        // nothing at all where the new owner never wrote.
+        assert_eq!(c.media_tag(vol, (8 * mb + 2 * page) / page), None);
+    }
+
+    #[test]
     fn n_way_replication_latency_grows_with_copies() {
         let cfg = ClusterConfig::default().with_blades(6).with_disks(8);
         let mut lat = Vec::new();
@@ -1408,6 +1590,98 @@ mod tests {
         // Hardware assist is near wire speed: within 15% of off.
         let ratio = hw.as_secs_f64() / off.as_secs_f64();
         assert!(ratio < 1.15, "hw ratio {ratio}");
+    }
+
+    #[test]
+    fn at_rest_cipher_puts_ciphertext_on_media_and_round_trips() {
+        let cfg = ClusterConfig::default()
+            .with_blades(4)
+            .with_disks(8)
+            .with_clients(4)
+            .with_encryption(EncryptionConfig::full_hw());
+        let mut c = BladeCluster::new(cfg);
+        let vol = c.create_volume("sec", 0, 1 << 30).unwrap();
+        c.write(SimTime::ZERO, 0, vol, 0, 64 * 1024, 1, Retention::Normal).unwrap();
+        let t = c.drain();
+        // What a removed disk would disclose is ciphertext, and it
+        // deciphers back to the expected plaintext under the volume key.
+        let media = c.media_tag(vol, 0).expect("destaged page has media bytes");
+        let plain = BladeCluster::plaintext_page_tag(vol, 0);
+        assert_ne!(media, plain, "at-rest media bytes must not be plaintext");
+        let mut dec = media;
+        ys_security::ctr_xor(&c.volume_key(vol), 0, 0, &mut dec);
+        assert_eq!(dec, plain, "volume key must decipher the media bytes");
+        assert!(c.stats.pages_ciphered >= 1);
+        // Cold read pulls the ciphertext back through the cipher cleanly.
+        for b in 0..4 {
+            c.fail_blade(t, b);
+            c.repair_blade(b);
+        }
+        c.read(t, 0, vol, 0, 64 * 1024).expect("decode after cipher");
+        assert!(c.stats.pages_deciphered >= 1);
+    }
+
+    #[test]
+    fn crypt_off_media_bytes_are_plaintext() {
+        let (mut c, vol) = small();
+        c.write(SimTime::ZERO, 0, vol, 0, 64 * 1024, 1, Retention::Normal).unwrap();
+        c.drain();
+        assert_eq!(c.media_tag(vol, 0), Some(BladeCluster::plaintext_page_tag(vol, 0)));
+        assert_eq!(c.stats.pages_ciphered, 0);
+    }
+
+    #[test]
+    fn tampered_media_bytes_surface_as_integrity_error() {
+        let cfg = ClusterConfig::default()
+            .with_blades(4)
+            .with_disks(8)
+            .with_clients(4)
+            .with_encryption(EncryptionConfig::full_hw());
+        let mut c = BladeCluster::new(cfg);
+        let vol = c.create_volume("sec", 0, 1 << 30).unwrap();
+        c.write(SimTime::ZERO, 0, vol, 0, 64 * 1024, 1, Retention::Normal).unwrap();
+        let t = c.drain();
+        let (disk, offset) = c.locate_volume_page(vol, 0).unwrap();
+        c.farm.write_page_tag(disk, offset, [0xEE; PAGE_TAG_BYTES]);
+        for b in 0..4 {
+            c.fail_blade(t, b);
+            c.repair_blade(b);
+        }
+        let err = c.read(t, 0, vol, 0, 64 * 1024).unwrap_err();
+        assert!(matches!(err, ClusterError::Integrity { .. }), "{err}");
+    }
+
+    #[test]
+    fn volume_keys_are_separated_by_the_master_hierarchy() {
+        let (mut c, v1) = small();
+        let v2 = c.create_volume("u", 1, 1 << 30).unwrap();
+        assert_ne!(c.volume_key(v1), c.volume_key(v2), "per-volume keys must differ");
+        // A different master seed re-keys every volume.
+        let other = BladeCluster::new(
+            ClusterConfig::default().with_blades(4).with_disks(8).with_master_seed(777),
+        );
+        assert_ne!(c.volume_key(v1), other.volume_key(v1));
+    }
+
+    #[test]
+    fn scrub_repair_restores_ciphertext_byte_identical() {
+        let cfg = ClusterConfig::default()
+            .with_blades(4)
+            .with_disks(8)
+            .with_clients(4)
+            .with_encryption(EncryptionConfig::full_hw());
+        let mut c = BladeCluster::new(cfg);
+        let vol = c.create_volume("sec", 0, 1 << 30).unwrap();
+        c.write(SimTime::ZERO, 0, vol, 0, 64 * 1024, 2, Retention::Normal).unwrap();
+        let t = c.drain();
+        let before = c.media_tag(vol, 0).unwrap();
+        // Rot the backing page, then repair from the cached replica.
+        c.corrupt_volume_page(vol, 0).unwrap();
+        let repaired = c.rewrite_page_from_cache(t, vol, 0).unwrap();
+        assert!(repaired.is_some(), "cached replica repairs the rot");
+        let after = c.media_tag(vol, 0).unwrap();
+        assert_eq!(before, after, "repair must restore the exact ciphertext");
+        assert_ne!(after, BladeCluster::plaintext_page_tag(vol, 0));
     }
 
     #[test]

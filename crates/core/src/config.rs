@@ -111,6 +111,10 @@ pub struct ClusterConfig {
     /// control, SLOs. Disabled by default — with the default config the
     /// data path is bit-identical to pre-QoS builds.
     pub qos: ys_qos::QosConfig,
+    /// Cluster master key seed: every per-volume cipher key is derived
+    /// from it (the §5.1 key hierarchy). The seed only matters when
+    /// `encryption` turns a cipher stage on.
+    pub master_key_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -133,6 +137,7 @@ impl Default for ClusterConfig {
             prefetch_pages: 0,
             remote_cache_supply: true,
             qos: ys_qos::QosConfig::disabled(),
+            master_key_seed: 0x59_53_4B_45_59,
         }
     }
 }
@@ -186,6 +191,12 @@ impl ClusterConfig {
     /// Enable a multi-tenant QoS policy (see `ys_qos::QosConfig`).
     pub fn with_qos(mut self, qos: ys_qos::QosConfig) -> ClusterConfig {
         self.qos = qos;
+        self
+    }
+
+    /// Set the cluster master key seed (per-volume keys derive from it).
+    pub fn with_master_seed(mut self, seed: u64) -> ClusterConfig {
+        self.master_key_seed = seed;
         self
     }
 

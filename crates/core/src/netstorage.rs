@@ -92,6 +92,12 @@ pub struct GeoStats {
     /// Pages re-fetched from a remote site by the scrubber's geo repair
     /// source ([`NetStorage::geo_fetch_page`]).
     pub scrub_page_fetches: u64,
+    /// WAN frames whose payload was ciphered before touching the link
+    /// (§5.1 in-transit encryption). With `in_transit` on, *every* frame
+    /// is counted here and none under `wire_frames_plaintext`.
+    pub wire_frames_ciphered: u64,
+    /// WAN frames that crossed a site boundary as plaintext (crypt off).
+    pub wire_frames_plaintext: u64,
 }
 
 /// Disaster-recovery report after a site failure.
@@ -113,6 +119,9 @@ pub struct NetStorage {
     /// Queued WAN links per ordered site pair.
     wan: Vec<Vec<Option<Link>>>,
     files: Vec<Ino>,
+    /// Monotone wire-frame sequence: the CTR nonce for in-transit frames,
+    /// so no two frames ever share a keystream.
+    wire_seq: u64,
     pub stats: GeoStats,
 }
 
@@ -164,6 +173,7 @@ impl NetStorage {
             wan,
             topology: cfg.topology,
             files: Vec::new(),
+            wire_seq: 0,
             stats: GeoStats::default(),
         }
     }
@@ -210,9 +220,66 @@ impl NetStorage {
         (events, dropped)
     }
 
+    /// Per-ordered-site-pair wire key: a keyed hash of (src, dst) under
+    /// the cluster master key, so the WAN stage never reuses a volume key
+    /// and a compromised trunk tap reveals nothing about data at rest.
+    fn wire_key(&self, from: SiteId, to: SiteId) -> ys_security::Key {
+        let master = ys_security::Key::from_seed(self.clusters[0].config().master_key_seed);
+        let mut label = [0u8; 16];
+        label[..8].copy_from_slice(&(from.0 as u64).to_be_bytes());
+        label[8..].copy_from_slice(&(to.0 as u64).to_be_bytes());
+        ys_security::Key::from_seed(ys_security::keyed_hash(&master, &label))
+    }
+
+    /// The representative plaintext bytes of one wire frame.
+    fn wire_frame_tag(from: SiteId, to: SiteId, seq: u64) -> [u8; 16] {
+        let mut tag = [0u8; 16];
+        tag[..4].copy_from_slice(&(from.0 as u32).to_be_bytes());
+        tag[4..8].copy_from_slice(&(to.0 as u32).to_be_bytes());
+        tag[8..].copy_from_slice(&seq.to_be_bytes());
+        tag
+    }
+
+    /// Move `bytes` from `from` to `to` over the WAN. With `in_transit`
+    /// encryption on, the frame's representative bytes are ciphered under
+    /// the pair's wire key *before* the link sees them (the link carries
+    /// only ciphertext) and deciphered on arrival; both cipher stages are
+    /// charged at the configured sw/hw per-byte rate.
     fn wan_transfer(&mut self, now: SimTime, from: SiteId, to: SiteId, bytes: u64) -> Option<SimTime> {
         self.topology.link(from, to)?;
-        self.wan[from.0][to.0].as_mut().map(|l| l.transfer(now, bytes).arrival)
+        let enc = self.clusters[from.0].config().encryption;
+        let mut depart = now;
+        if enc.in_transit {
+            self.wire_seq += 1;
+            let seq = self.wire_seq;
+            let key = self.wire_key(from, to);
+            let plain = Self::wire_frame_tag(from, to, seq);
+            let mut frame = plain;
+            ys_security::ctr_xor(&key, seq, 0, &mut frame);
+            debug_assert_ne!(frame, plain, "ciphertext must differ from plaintext");
+            depart += self.crypt_cost(from, bytes);
+            // The link only ever carries `frame` (ciphertext); the receiver
+            // deciphers with the same (key, nonce) and must round-trip.
+            let mut received = frame;
+            ys_security::ctr_xor(&key, seq, 0, &mut received);
+            debug_assert_eq!(received, plain, "wire frame must decipher byte-identical");
+            self.stats.wire_frames_ciphered += 1;
+        } else {
+            self.stats.wire_frames_plaintext += 1;
+        }
+        let arrival = self.wan[from.0][to.0].as_mut().map(|l| l.transfer(depart, bytes).arrival)?;
+        Some(if enc.in_transit { arrival + self.crypt_cost(to, bytes) } else { arrival })
+    }
+
+    /// Virtual-time cost of one cipher pass over `bytes` at `site`.
+    fn crypt_cost(&self, site: SiteId, bytes: u64) -> SimDuration {
+        let cfg = self.clusters[site.0].config();
+        let per_byte = if cfg.encryption.hardware_assist {
+            cfg.cost.hw_crypt_ns_per_byte
+        } else {
+            cfg.cost.sw_crypt_ns_per_byte
+        };
+        SimDuration::from_nanos((bytes as f64 * per_byte) as u64)
     }
 
     /// Create a file homed at `site` with the given policy.
@@ -841,6 +908,61 @@ mod tests {
         // No other site has the extent mapped, so there is nothing to fetch.
         assert!(ns.geo_fetch_page(w.done, S0, VolumeId(0), 0).is_none());
         assert_eq!(ns.stats.scrub_page_fetches, 0);
+    }
+
+    #[test]
+    fn wan_frames_are_ciphered_in_transit_and_pay_crypt_time() {
+        use crate::config::EncryptionConfig;
+        let sw = NetStorageConfig {
+            site_cluster: small_sites().site_cluster.with_encryption(EncryptionConfig::full_sw()),
+            ..NetStorageConfig::default()
+        };
+        let mut ns_sw = NetStorage::new(sw);
+        let mut ns_off = NetStorage::new(small_sites());
+        let pol = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
+        for ns in [&mut ns_sw, &mut ns_off] {
+            ns.create_file("/wire.dat", pol.clone(), S0).unwrap();
+        }
+        let w_sw = ns_sw.write_file(SimTime::ZERO, S0, 0, "/wire.dat", 0, 1 << 20).unwrap();
+        let w_off = ns_off.write_file(SimTime::ZERO, S0, 0, "/wire.dat", 0, 1 << 20).unwrap();
+        assert!(
+            w_sw.latency > w_off.latency,
+            "software wire crypt {} must cost more than plaintext {}",
+            w_sw.latency,
+            w_off.latency
+        );
+        // Every frame the ciphered system sent crossed the link encrypted;
+        // the plaintext system never ciphered one.
+        assert!(ns_sw.stats.wire_frames_ciphered >= 1);
+        assert_eq!(ns_sw.stats.wire_frames_plaintext, 0, "no plaintext crosses a site boundary");
+        assert_eq!(ns_off.stats.wire_frames_ciphered, 0);
+        assert!(ns_off.stats.wire_frames_plaintext >= 1);
+        // First-reference migration ships over the same ciphered path.
+        let before = ns_sw.stats.wire_frames_ciphered;
+        ns_sw.read_file(w_sw.done, S2, 0, "/wire.dat", 0, 1 << 20).unwrap();
+        assert!(ns_sw.stats.wire_frames_ciphered > before, "migration frames are ciphered too");
+        assert_eq!(ns_sw.stats.wire_frames_plaintext, 0);
+    }
+
+    #[test]
+    fn hw_assist_makes_wire_crypt_near_free() {
+        use crate::config::EncryptionConfig;
+        let mk = |e: EncryptionConfig| NetStorageConfig {
+            site_cluster: small_sites().site_cluster.with_encryption(e),
+            ..NetStorageConfig::default()
+        };
+        let pol = FilePolicy { geo: GeoPolicy::sync(2), ..FilePolicy::default() };
+        let mut lat = Vec::new();
+        for e in [EncryptionConfig::off(), EncryptionConfig::full_hw(), EncryptionConfig::full_sw()] {
+            let mut ns = NetStorage::new(mk(e));
+            ns.create_file("/hw.dat", pol.clone(), S0).unwrap();
+            let w = ns.write_file(SimTime::ZERO, S0, 0, "/hw.dat", 0, 1 << 20).unwrap();
+            lat.push(w.latency);
+        }
+        assert!(lat[0] < lat[1], "hw crypt still costs something");
+        assert!(lat[1] < lat[2], "sw crypt costs much more than hw");
+        let over_hw = lat[1].as_secs_f64() / lat[0].as_secs_f64();
+        assert!(over_hw < 1.05, "hw-assist overhead should be within 5%: {over_hw}");
     }
 
     #[test]

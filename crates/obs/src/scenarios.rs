@@ -8,11 +8,13 @@ use crate::report::{f2, f3, Checkpoint, RunReport, Table};
 use ys_cache::Retention;
 use ys_core::fastpath::{deliver_stream, deliver_stream_traced};
 use ys_core::{
-    BladeCluster, ClusterConfig, FastPathConfig, LoadBalance, NetStorage, NetStorageConfig, Rebuilder,
+    BladeCluster, BlockTarget, ClusterConfig, EncryptionConfig, FastPathConfig, LoadBalance,
+    NetStorage, NetStorageConfig, Rebuilder,
 };
 use ys_geo::SiteId;
 use ys_pfs::{FilePolicy, GeoPolicy};
-use ys_proto::Workload;
+use ys_proto::{block, BlockCmd, BlockStatus, Workload};
+use ys_security::{InitiatorId, PortZone};
 use ys_raid::RaidLevel;
 use ys_simcore::time::SimTime;
 use ys_simdisk::DiskId;
@@ -31,6 +33,8 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ("bitrot-scrub", "ys-scrub background pass repairs latent rot under foreground load inside the Scavenger isolation bound"),
     ("crash-nway", "ys-chaos campaign: blade crashes at adversarial instants recover clean; a deliberate N-failure shrinks to a replayable counterexample (§6.1)"),
     ("partition-heal", "ys-chaos campaign: WAN trunks cut mid-geo-ship heal gapless — the async backlog drains with no prefix gap (§7)"),
+    ("secure-tenants", "E2 secure multi-tenant pool: zoning + LUN masking deny every cross-tenant frame, denials audited, media bytes are ciphertext (§5)"),
+    ("wire-speed-crypt", "E11 wire-speed encryption: the hardware-assist cipher streams within 5% of crypt-off while software crypt measurably degrades (§5.1)"),
 ];
 
 /// Run a scenario by name; `None` for an unknown name.
@@ -45,6 +49,8 @@ pub fn run(name: &str) -> Option<RunReport> {
         "bitrot-scrub" => Some(bitrot_scrub()),
         "crash-nway" => Some(crash_nway()),
         "partition-heal" => Some(partition_heal()),
+        "secure-tenants" => Some(secure_tenants()),
+        "wire-speed-crypt" => Some(wire_speed_crypt()),
         _ => None,
     }
 }
@@ -980,6 +986,235 @@ fn partition_heal() -> RunReport {
     RunReport {
         scenario: "partition-heal",
         tables: vec![sched, out],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// §5 (E2): two tenants share one ciphered pool. Zoning plus the LUN mask
+/// deny every cross-tenant frame at the target, every denial lands in the
+/// audit log, `ReportLuns` never reveals the other tenant's volume even
+/// exists, and what a removed disk would disclose is ciphertext that only
+/// the per-volume key recovers.
+fn secure_tenants() -> RunReport {
+    const IO_SECTORS: u32 = 128; // 64 KiB per frame
+    const ROUNDS: u64 = 16;
+    let hex = |tag: &[u8]| tag.iter().map(|b| format!("{b:02x}")).collect::<String>();
+
+    let cfg = ClusterConfig::default()
+        .with_blades(4)
+        .with_disks(8)
+        .with_clients(4)
+        .with_encryption(EncryptionConfig::full_hw());
+    let mut c = BladeCluster::new(cfg);
+    let vol_a = c.create_volume("tenant-a", 1, 1 << 30).expect("volume a");
+    let vol_b = c.create_volume("tenant-b", 2, 1 << 30).expect("volume b");
+
+    // The operator zones one host port per tenant, the disk-side bridge,
+    // and a management port; each tenant is granted only its own LUN.
+    let mut target = BlockTarget::new(2, 8);
+    target.mask.set_zone(0, PortZone::HostSide);
+    target.mask.set_zone(1, PortZone::HostSide);
+    target.mask.set_zone(8, PortZone::DiskSide);
+    target.mask.set_zone(9, PortZone::Management);
+    let tenant_a = InitiatorId(1);
+    let tenant_b = InitiatorId(2);
+    target.mask.grant(tenant_a, vol_a);
+    target.mask.grant(tenant_b, vol_b);
+
+    // Interleaved workload: each tenant streams to its own LUN while
+    // probing the other's — reads, writes, and a frame smuggled onto the
+    // trusted disk-side fabric.
+    let mut t = SimTime::ZERO;
+    let mut own_ok = 0u64;
+    let mut cross_attempts = 0u64;
+    let mut cross_denied = 0u64;
+    for i in 0..ROUNDS {
+        let lba = i * IO_SECTORS as u64;
+        for (who, client, port, own, other) in [
+            (tenant_a, 0usize, 0usize, vol_a, vol_b),
+            (tenant_b, 1, 1, vol_b, vol_a),
+        ] {
+            let w = target.handle(&mut c, who, client, port, t,
+                block::encode(&BlockCmd::Write { lun: own.0, lba, sectors: IO_SECTORS }));
+            if w.status == BlockStatus::Good {
+                own_ok += 1;
+            }
+            t = w.done;
+            let probes = [
+                (port, BlockCmd::Read { lun: other.0, lba, sectors: IO_SECTORS }),
+                (port, BlockCmd::Write { lun: other.0, lba, sectors: IO_SECTORS }),
+                // Even with a mask grant, the disk-side fabric is a breach.
+                (8, BlockCmd::Read { lun: own.0, lba, sectors: IO_SECTORS }),
+            ];
+            for (p, cmd) in probes {
+                cross_attempts += 1;
+                if target.handle(&mut c, who, client, p, t, block::encode(&cmd)).status
+                    == BlockStatus::AccessDenied
+                {
+                    cross_denied += 1;
+                }
+            }
+        }
+    }
+    let luns_a = target.report_luns(tenant_a);
+    let luns_b = target.report_luns(tenant_b);
+    let leak_free = luns_a == vec![vol_a] && luns_b == vec![vol_b];
+    let audited = target.audit.violations().count() as u64;
+
+    // §5.1's warranty-return scenario: destage everything, then look at
+    // the raw media bytes a removed disk would disclose.
+    c.drain();
+    let plain = BladeCluster::plaintext_page_tag(vol_a, 0);
+    let media = c.media_tag(vol_a, 0).expect("destaged page has media bytes");
+    let mut dec = media;
+    ys_security::ctr_xor(&c.volume_key(vol_a), 0, 0, &mut dec);
+    let ciphered_at_rest = media != plain && dec == plain;
+
+    let mut reg = MetricsRegistry::new();
+    collect_cluster(&mut reg, &c, t);
+    reg.gauge(MetricKey::aggregate("security", "cross_tenant_attempts"), cross_attempts as f64);
+    reg.gauge(MetricKey::aggregate("security", "cross_tenant_denied"), cross_denied as f64);
+    reg.gauge(MetricKey::aggregate("security", "denials_audited"), audited as f64);
+    reg.gauge(MetricKey::aggregate("security", "pages_ciphered"), c.stats.pages_ciphered as f64);
+
+    let mut view = Table::new(
+        "per-tenant view of the shared pool",
+        &["tenant", "host port", "visible LUNs", "own I/O ok", "probes denied"],
+    );
+    let probes = format!("{}/{}", cross_denied / 2, cross_attempts / 2);
+    view.row(vec!["A".into(), "0".into(), format!("{luns_a:?}"), (own_ok / 2).to_string(), probes.clone()]);
+    view.row(vec!["B".into(), "1".into(), format!("{luns_b:?}"), (own_ok / 2).to_string(), probes]);
+    let mut disk = Table::new(
+        "removed-disk disclosure (tenant A, page 0)",
+        &["bytes", "value"],
+    );
+    disk.row(vec!["host plaintext".into(), hex(&plain)]);
+    disk.row(vec!["on the media".into(), hex(&media)]);
+    disk.row(vec!["deciphered (volume key)".into(), hex(&dec)]);
+
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "§5: no cross-tenant frame ever succeeds — mask and zones fail closed",
+            metric: "security.cross_tenant_denied".into(),
+            observed: format!("{cross_denied}/{cross_attempts}"),
+            target: format!("== {cross_attempts}"),
+            pass: cross_denied == cross_attempts && cross_attempts > 0,
+        },
+        Checkpoint {
+            claim: "§5.2: ReportLuns hides the other tenant's volume existence",
+            metric: "report_luns(A), report_luns(B)".into(),
+            observed: format!("{luns_a:?}, {luns_b:?}"),
+            target: "own volume only".into(),
+            pass: leak_free,
+        },
+        Checkpoint {
+            claim: "§5.2: every denial is in the audit trail",
+            metric: "security.denials_audited".into(),
+            observed: audited.to_string(),
+            target: format!("== {}", target.stats.denied),
+            pass: audited == target.stats.denied && audited == cross_denied,
+        },
+        Checkpoint {
+            claim: "§5.1: media bytes are ciphertext; only the volume key recovers them",
+            metric: "media_tag(vol_a, 0)".into(),
+            observed: if ciphered_at_rest { "ciphered, round-trips".into() } else { "PLAINTEXT".to_string() },
+            target: "!= plaintext, deciphers back".into(),
+            pass: ciphered_at_rest,
+        },
+    ];
+    RunReport {
+        scenario: "secure-tenants",
+        tables: vec![view, disk],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// §5.1 (E11): the encryption ablation on the Figure 1 striping topology.
+/// A 64 MiB stream is written through the pool with the cipher off, with
+/// the hardware engine, and in software: hardware assist must hold the
+/// stream within 5% of crypt-off while the software path measurably
+/// degrades it.
+fn wire_speed_crypt() -> RunReport {
+    const CHUNK: u64 = 1 << 20;
+    const CHUNKS: u64 = 64;
+
+    let drive = |enc: EncryptionConfig| -> (BladeCluster, f64, SimTime) {
+        let mut c = BladeCluster::new(ClusterConfig::default().with_encryption(enc));
+        let vol = c.create_volume("stream", 0, 1 << 30).expect("volume");
+        let mut t = SimTime::ZERO;
+        for i in 0..CHUNKS {
+            t = c
+                .write(t, 0, vol, i * CHUNK, CHUNK, 1, Retention::Normal)
+                .expect("stream write")
+                .done;
+        }
+        c.drain();
+        let gbps = (CHUNKS * CHUNK) as f64 * 8.0 / t.nanos() as f64;
+        (c, gbps, t)
+    };
+
+    let (_c_off, off, _) = drive(EncryptionConfig::off());
+    let (c_hw, hw, hw_end) = drive(EncryptionConfig::full_hw());
+    let (c_sw, sw, _) = drive(EncryptionConfig::full_sw());
+    let hw_ratio = hw / off;
+    let sw_ratio = sw / off;
+
+    let mut reg = MetricsRegistry::new();
+    collect_cluster(&mut reg, &c_hw, hw_end);
+    reg.gauge(MetricKey::aggregate("crypt", "gbps_off"), off);
+    reg.gauge(MetricKey::aggregate("crypt", "gbps_hw"), hw);
+    reg.gauge(MetricKey::aggregate("crypt", "gbps_sw"), sw);
+    reg.gauge(MetricKey::aggregate("crypt", "hw_wire_ratio"), hw_ratio);
+    reg.gauge(MetricKey::aggregate("crypt", "sw_wire_ratio"), sw_ratio);
+
+    let mut table = Table::new(
+        "64 MiB stream through the 4-blade pool, by cipher deployment",
+        &["cipher", "Gb/s", "vs off", "pages ciphered"],
+    );
+    table.row(vec!["off".into(), f2(off), "1.00".into(), "0".into()]);
+    table.row(vec!["hardware engine".into(), f2(hw), f3(hw_ratio), c_hw.stats.pages_ciphered.to_string()]);
+    table.row(vec!["software".into(), f2(sw), f3(sw_ratio), c_sw.stats.pages_ciphered.to_string()]);
+
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "§5.1: hardware-assist encryption runs at wire speed — within 5% of crypt-off",
+            metric: "crypt.hw_wire_ratio".into(),
+            observed: f3(hw_ratio),
+            target: ">= 0.95".into(),
+            pass: hw_ratio >= 0.95,
+        },
+        Checkpoint {
+            claim: "§5.1: software crypt measurably degrades the same stream",
+            metric: "crypt.sw_wire_ratio".into(),
+            observed: f3(sw_ratio),
+            target: "< 0.90".into(),
+            pass: sw_ratio < 0.90,
+        },
+        Checkpoint {
+            claim: "§5.1: the cipher costs something real in either deployment",
+            metric: "crypt.gbps_off > gbps_hw > gbps_sw".into(),
+            observed: format!("{} > {} > {}", f2(off), f2(hw), f2(sw)),
+            target: "strictly ordered".into(),
+            pass: off > hw && hw > sw,
+        },
+        Checkpoint {
+            claim: "§5.1: the ciphered runs actually ciphered every destaged page",
+            metric: "cluster.pages_ciphered (hw run)".into(),
+            observed: c_hw.stats.pages_ciphered.to_string(),
+            target: format!(">= {}", CHUNKS * (CHUNK / (64 * 1024))),
+            pass: c_hw.stats.pages_ciphered >= CHUNKS * (CHUNK / (64 * 1024))
+                && c_sw.stats.pages_ciphered == c_hw.stats.pages_ciphered,
+        },
+    ];
+    RunReport {
+        scenario: "wire-speed-crypt",
+        tables: vec![table],
         checkpoints,
         registry: reg,
         events: Vec::new(),

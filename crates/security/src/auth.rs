@@ -3,7 +3,7 @@
 
 use crate::cipher::Key;
 use crate::hash::{digest_eq, keyed_hash};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ys_simcore::time::SimTime;
 
 /// Who is asking.
@@ -66,7 +66,7 @@ impl std::error::Error for AuthError {}
 /// never run user code (§5.2), they only verify tokens minted here.
 #[derive(Clone, Debug)]
 pub struct AuthService {
-    principals: HashMap<PrincipalId, Principal>,
+    principals: BTreeMap<PrincipalId, Principal>,
     /// Service master key used to MAC tokens.
     master: Key,
     next_id: u32,
@@ -74,7 +74,7 @@ pub struct AuthService {
 
 impl AuthService {
     pub fn new(master_seed: u64) -> AuthService {
-        AuthService { principals: HashMap::new(), master: Key::from_seed(master_seed), next_id: 0 }
+        AuthService { principals: BTreeMap::new(), master: Key::from_seed(master_seed), next_id: 0 }
     }
 
     pub fn register(&mut self, name: impl Into<String>, tenant: u32, role: Role, secret_seed: u64) -> PrincipalId {

@@ -66,20 +66,42 @@ pub fn decrypt_block(key: &Key, block: u64) -> u64 {
     ((v0 as u64) << 32) | v1 as u64
 }
 
+/// Domain-separation constant for the second half of the subkey schedule
+/// (an arbitrary odd 64-bit value; any fixed non-zero tweak works).
+const SUBKEY_TWEAK: u64 = 0x5DEE_CE66_D83A_55B1;
+
+/// Derive the per-`(key, nonce)` stream subkey.
+///
+/// Mixing the nonce into the *key schedule* (rather than XOR-ing it into
+/// the counter) gives every nonce a disjoint keystream: two streams under
+/// the same master key can never line up block-for-block, no matter how
+/// their counters overlap. The 128 subkey bits come from two XTEA
+/// applications over nonce-derived blocks.
+fn stream_subkey(key: &Key, nonce: u64) -> Key {
+    let a = encrypt_block(key, nonce);
+    let b = encrypt_block(key, nonce ^ SUBKEY_TWEAK);
+    Key([(a >> 32) as u32, a as u32, (b >> 32) as u32, b as u32])
+}
+
 /// XOR `data` with the CTR keystream for `(key, nonce)` starting at byte
 /// offset `offset`. Encryption and decryption are the same operation.
 ///
-/// The keystream block for counter `c` is `E(key, nonce ⊕ c)`; using the
-/// byte offset as the counter origin makes the operation *seekable*: any
-/// sub-range of a volume can be ciphered independently, which is what lets
-/// the blades encrypt in-stream at full pipeline rate (§8.1).
+/// The keystream block for counter `c` is `E(subkey(key, nonce), c)`; the
+/// nonce lives in the key derivation, not the counter, so distinct nonces
+/// have fully disjoint counter spaces (the previous `nonce ⊕ c` scheme let
+/// adjacent nonces collide: nonce 2 at block 1 equalled nonce 3 at
+/// block 0 — a two-time pad across volumes). Using the byte offset as the
+/// counter origin makes the operation *seekable*: any sub-range of a
+/// volume can be ciphered independently, which is what lets the blades
+/// encrypt in-stream at full pipeline rate (§8.1).
 pub fn ctr_xor(key: &Key, nonce: u64, offset: u64, data: &mut [u8]) {
+    let subkey = stream_subkey(key, nonce);
     let mut pos = 0usize;
     let mut byte_off = offset;
     while pos < data.len() {
         let block_index = byte_off / 8;
         let in_block = (byte_off % 8) as usize;
-        let ks = encrypt_block(key, nonce ^ block_index).to_be_bytes();
+        let ks = encrypt_block(&subkey, block_index).to_be_bytes();
         let take = (8 - in_block).min(data.len() - pos);
         for i in 0..take {
             data[pos + i] ^= ks[in_block + i];
@@ -171,6 +193,24 @@ mod tests {
         ctr_xor(&key, 1, 0, &mut a);
         ctr_xor(&key, 2, 0, &mut b);
         assert_ne!(a, b, "distinct nonces must yield distinct keystreams");
+    }
+
+    #[test]
+    fn adjacent_nonces_never_share_keystream_blocks() {
+        // Regression pin for the `nonce ^ block_index` counter scheme,
+        // where nonce 2's block 1 and nonce 3's block 0 shared a keystream
+        // block (2 ^ 1 == 3 ^ 0) — a two-time pad across volumes.
+        let key = Key::from_seed(21);
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        ctr_xor(&key, 2, 0, &mut a);
+        ctr_xor(&key, 3, 0, &mut b);
+        assert_ne!(&a[8..16], &b[0..8], "nonce 2 block 1 must differ from nonce 3 block 0");
+        for (i, ai) in a.chunks(8).enumerate() {
+            for (j, bj) in b.chunks(8).enumerate() {
+                assert_ne!(ai, bj, "keystream collision: nonce 2 block {i} == nonce 3 block {j}");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! in-band filter lets administrators disable control commands arriving on
 //! data ports "on a command-by-command, port-by-port basis".
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use ys_virt::VolumeId;
 
 /// An initiator (host HBA / NIC identity).
@@ -24,7 +24,7 @@ pub enum PortZone {
 }
 
 /// Control commands that may arrive in-band.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ControlCommand {
     CreateVolume,
     DeleteVolume,
@@ -62,10 +62,10 @@ impl std::fmt::Display for SecurityViolation {
 /// The masking + zoning table.
 #[derive(Clone, Debug, Default)]
 pub struct LunMask {
-    visible: HashMap<InitiatorId, HashSet<VolumeId>>,
-    zones: HashMap<usize, PortZone>,
+    visible: BTreeMap<InitiatorId, BTreeSet<VolumeId>>,
+    zones: BTreeMap<usize, PortZone>,
     /// (port, command) pairs explicitly disabled.
-    inband_disabled: HashSet<(usize, ControlCommand)>,
+    inband_disabled: BTreeSet<(usize, ControlCommand)>,
 }
 
 impl LunMask {
@@ -112,13 +112,18 @@ impl LunMask {
         self.zones.get(&port).copied()
     }
 
-    /// Host-side ports may never address the disk-side fabric.
+    /// Fail-closed fabric separation: only ports explicitly zoned
+    /// `DiskSide` or `Management` may address the trusted disk-side
+    /// fabric. Host-side ports — and ports with *no* zone assignment at
+    /// all — are a [`SecurityViolation::ZoneBreach`]. (The previous
+    /// fail-open `_ => Ok(())` let any unzoned port through.)
     pub fn check_zone_path(&self, from_port: usize, to_zone: PortZone) -> Result<(), SecurityViolation> {
+        if to_zone != PortZone::DiskSide {
+            return Ok(());
+        }
         match self.zones.get(&from_port) {
-            Some(PortZone::HostSide) if to_zone == PortZone::DiskSide => {
-                Err(SecurityViolation::ZoneBreach { port: from_port })
-            }
-            _ => Ok(()),
+            Some(PortZone::DiskSide) | Some(PortZone::Management) => Ok(()),
+            Some(PortZone::HostSide) | None => Err(SecurityViolation::ZoneBreach { port: from_port }),
         }
     }
 
@@ -184,6 +189,22 @@ mod tests {
         assert!(m.check_zone_path(0, PortZone::DiskSide).is_err());
         assert!(m.check_zone_path(0, PortZone::HostSide).is_ok());
         assert!(m.check_zone_path(1, PortZone::DiskSide).is_ok(), "disk-side internal path fine");
+    }
+
+    #[test]
+    fn unzoned_ports_fail_closed_toward_disk_fabric() {
+        let mut m = LunMask::new();
+        m.set_zone(9, PortZone::Management);
+        // Port 7 was never zoned: it must NOT reach the disk-side fabric.
+        assert_eq!(
+            m.check_zone_path(7, PortZone::DiskSide),
+            Err(SecurityViolation::ZoneBreach { port: 7 })
+        );
+        // Management reaches the disk fabric (out-of-band admin path).
+        assert!(m.check_zone_path(9, PortZone::DiskSide).is_ok());
+        // Non-disk targets stay permissive even for unzoned ports.
+        assert!(m.check_zone_path(7, PortZone::HostSide).is_ok());
+        assert!(m.check_zone_path(7, PortZone::Management).is_ok());
     }
 
     #[test]

@@ -50,6 +50,50 @@ proptest! {
         prop_assert_eq!(whole, lo);
     }
 
+    /// Distinct nonces never collide keystream blocks, at *any* pair of
+    /// block positions — the property the old `nonce ^ block_index`
+    /// counter violated (adjacent nonces shared blocks across offsets).
+    #[test]
+    fn ctr_distinct_nonces_never_collide_keystream(
+        seed in any::<u64>(),
+        n1 in any::<u64>(),
+        n2 in any::<u64>(),
+    ) {
+        prop_assume!(n1 != n2);
+        let key = Key::from_seed(seed);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ctr_xor(&key, n1, 0, &mut a);
+        ctr_xor(&key, n2, 0, &mut b);
+        for (i, ai) in a.chunks(8).enumerate() {
+            for (j, bj) in b.chunks(8).enumerate() {
+                prop_assert_ne!(ai, bj, "nonce {} block {} == nonce {} block {}", n1, i, n2, j);
+            }
+        }
+    }
+
+    /// Seekability holds for arbitrary nonces too: ciphering a sub-range
+    /// at its own offset matches the corresponding slice of the
+    /// whole-buffer ciphering.
+    #[test]
+    fn ctr_subrange_matches_whole_for_any_nonce(
+        seed in any::<u64>(),
+        nonce in any::<u64>(),
+        offset in 0u64..100_000,
+        data in proptest::collection::vec(any::<u8>(), 2..1024),
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let key = Key::from_seed(seed);
+        let a = ((data.len() as f64 * lo_frac) as usize).min(data.len() - 1);
+        let b = ((data.len() as f64 * hi_frac) as usize).clamp(a + 1, data.len());
+        let mut whole = data.clone();
+        ctr_xor(&key, nonce, offset, &mut whole);
+        let mut sub = data[a..b].to_vec();
+        ctr_xor(&key, nonce, offset + a as u64, &mut sub);
+        prop_assert_eq!(&whole[a..b], &sub[..]);
+    }
+
     /// Keyed hash: deterministic, key-separated (different keys almost
     /// never collide on the same message).
     #[test]

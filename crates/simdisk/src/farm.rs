@@ -5,7 +5,7 @@
 //! [`DiskId`]s. Fibre-channel path time to reach a disk is charged by the
 //! caller via `ys-simnet`; the farm accounts only for drive service.
 
-use crate::model::{Disk, DiskError, DiskOp, DiskSpec, Verification};
+use crate::model::{Disk, DiskError, DiskOp, DiskSpec, Verification, PAGE_TAG_BYTES};
 use ys_simcore::time::SimTime;
 
 /// Farm-wide drive index.
@@ -82,6 +82,23 @@ impl DiskFarm {
     /// Farm-wide count of checksum mismatches observed by verified reads.
     pub fn checksum_mismatches(&self) -> u64 {
         self.disks.iter().map(|d| d.checksum_mismatches()).sum()
+    }
+
+    /// Store the data-plane bytes for `id`'s page containing `offset`.
+    pub fn write_page_tag(&mut self, id: DiskId, offset: u64, tag: [u8; PAGE_TAG_BYTES]) -> bool {
+        self.disks[id.0].write_page_tag(offset, tag)
+    }
+
+    /// The data-plane bytes on `id`'s media for the page containing
+    /// `offset`, if that page was ever written.
+    pub fn read_page_tag(&self, id: DiskId, offset: u64) -> Option<[u8; PAGE_TAG_BYTES]> {
+        self.disks[id.0].read_page_tag(offset)
+    }
+
+    /// Discard the data-plane bytes for `id`'s page containing `offset`
+    /// (see [`Disk::clear_page_tag`]).
+    pub fn clear_page_tag(&mut self, id: DiskId, offset: u64) -> bool {
+        self.disks[id.0].clear_page_tag(offset)
     }
 
     pub fn fail(&mut self, id: DiskId) {

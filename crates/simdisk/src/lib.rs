@@ -12,4 +12,4 @@ pub mod farm;
 pub mod model;
 
 pub use farm::{DiskFarm, DiskId};
-pub use model::{Disk, DiskError, DiskOp, DiskSpec, Verification, CHECKSUM_PAGE_BYTES};
+pub use model::{Disk, DiskError, DiskOp, DiskSpec, Verification, CHECKSUM_PAGE_BYTES, PAGE_TAG_BYTES};

@@ -1,12 +1,19 @@
 //! Single-disk service model.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use ys_simcore::time::{Bandwidth, SimDuration, SimTime};
 
 /// Granularity of the at-rest checksum plane: one checksum protects one
 /// 64 KiB page (matching the cluster cache page). Corruption is tracked and
 /// repaired at this unit.
 pub const CHECKSUM_PAGE_BYTES: u64 = 64 * 1024;
+
+/// Size of the representative payload stored per page by the data plane.
+/// The simulator does not hold 64 KiB of real bytes per page; instead each
+/// written page carries a small *tag* — enough real bytes to prove the
+/// cipher pipeline end to end (plaintext in, ciphertext on media,
+/// plaintext back out, repairs byte-identical) without the memory cost.
+pub const PAGE_TAG_BYTES: usize = 16;
 
 /// Outcome of a checksum-verified read: either every covered page matched
 /// its stored checksum, or at least one page is silently rotten. The
@@ -140,6 +147,11 @@ pub struct Disk {
     /// or a scrub looks; plain `submit` timing is unaffected.
     corrupt: BTreeSet<u64>,
     mismatches: u64,
+    /// Sparse data plane: page index → the representative bytes most
+    /// recently written there ([`PAGE_TAG_BYTES`] per page). What lives
+    /// here is exactly what is on the media — ciphertext when the
+    /// controller encrypts at rest.
+    content: BTreeMap<u64, [u8; PAGE_TAG_BYTES]>,
 }
 
 impl Disk {
@@ -156,6 +168,7 @@ impl Disk {
             bytes_written: 0,
             corrupt: BTreeSet::new(),
             mismatches: 0,
+            content: BTreeMap::new(),
         }
     }
 
@@ -182,6 +195,46 @@ impl Disk {
         self.bytes_read = 0;
         self.bytes_written = 0;
         self.corrupt.clear();
+        self.content.clear();
+    }
+
+    /// Store the representative bytes for the page containing `offset`
+    /// (the data-plane side of a write; service time is charged via
+    /// [`Disk::submit`] separately). Returns false past the end of the
+    /// medium or on a failed drive.
+    pub fn write_page_tag(&mut self, offset: u64, tag: [u8; PAGE_TAG_BYTES]) -> bool {
+        if self.failed || offset >= self.spec.capacity_bytes {
+            return false;
+        }
+        self.content.insert(offset / CHECKSUM_PAGE_BYTES, tag);
+        true
+    }
+
+    /// The representative bytes currently on the media for the page
+    /// containing `offset`. `None` if the page was never written (or the
+    /// drive was replaced since), or if the drive has failed.
+    pub fn read_page_tag(&self, offset: u64) -> Option<[u8; PAGE_TAG_BYTES]> {
+        if self.failed {
+            return None;
+        }
+        self.content.get(&(offset / CHECKSUM_PAGE_BYTES)).copied()
+    }
+
+    /// Discard the data-plane bytes of the page containing `offset` — the
+    /// device-level trim a controller issues when the extent above is
+    /// reclaimed, so a recycled extent never carries a previous life's
+    /// bytes. Returns true if the page actually held bytes; false on a
+    /// failed drive, past the end of the medium, or on an empty page.
+    pub fn clear_page_tag(&mut self, offset: u64) -> bool {
+        if self.failed || offset >= self.spec.capacity_bytes {
+            return false;
+        }
+        self.content.remove(&(offset / CHECKSUM_PAGE_BYTES)).is_some()
+    }
+
+    /// Number of pages holding data-plane bytes.
+    pub fn page_tag_count(&self) -> usize {
+        self.content.len()
     }
 
     /// Inject a latent media error on the page containing `offset`. The
@@ -463,6 +516,51 @@ mod tests {
         let mut d = disk();
         assert!(!d.corrupt_page(d.spec.capacity_bytes + 1));
         assert_eq!(d.corrupt_page_count(), 0);
+    }
+
+    #[test]
+    fn page_tags_round_trip_and_die_with_the_media() {
+        let mut d = disk();
+        let tag = *b"ciphertext bytes";
+        assert!(d.write_page_tag(2 * CHECKSUM_PAGE_BYTES + 100, tag));
+        // Any offset within the page reads the same tag.
+        assert_eq!(d.read_page_tag(2 * CHECKSUM_PAGE_BYTES), Some(tag));
+        assert_eq!(d.read_page_tag(3 * CHECKSUM_PAGE_BYTES - 1), Some(tag));
+        assert_eq!(d.read_page_tag(0), None, "never-written page has no bytes");
+        assert_eq!(d.page_tag_count(), 1);
+        // Failed drives serve nothing; fresh media is empty.
+        d.fail();
+        assert!(!d.write_page_tag(0, tag));
+        assert_eq!(d.read_page_tag(2 * CHECKSUM_PAGE_BYTES), None);
+        d.replace();
+        assert_eq!(d.page_tag_count(), 0);
+        assert_eq!(d.read_page_tag(2 * CHECKSUM_PAGE_BYTES), None);
+    }
+
+    #[test]
+    fn clearing_a_page_tag_discards_only_that_page() {
+        let mut d = disk();
+        let tag = *b"ciphertext bytes";
+        assert!(d.write_page_tag(CHECKSUM_PAGE_BYTES, tag));
+        assert!(d.write_page_tag(2 * CHECKSUM_PAGE_BYTES, tag));
+        // Trim one page; any offset within it addresses the same page.
+        assert!(d.clear_page_tag(CHECKSUM_PAGE_BYTES + 512));
+        assert_eq!(d.read_page_tag(CHECKSUM_PAGE_BYTES), None);
+        assert_eq!(d.read_page_tag(2 * CHECKSUM_PAGE_BYTES), Some(tag));
+        assert_eq!(d.page_tag_count(), 1);
+        // Empty pages, the void past the medium, and failed drives all
+        // report nothing-to-discard.
+        assert!(!d.clear_page_tag(CHECKSUM_PAGE_BYTES));
+        assert!(!d.clear_page_tag(d.spec.capacity_bytes + 1));
+        d.fail();
+        assert!(!d.clear_page_tag(2 * CHECKSUM_PAGE_BYTES));
+    }
+
+    #[test]
+    fn page_tags_past_the_medium_are_a_noop() {
+        let mut d = disk();
+        assert!(!d.write_page_tag(d.spec.capacity_bytes + 1, [0u8; PAGE_TAG_BYTES]));
+        assert_eq!(d.page_tag_count(), 0);
     }
 
     #[test]

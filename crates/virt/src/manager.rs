@@ -118,6 +118,15 @@ impl VolumeManager {
         &self.pool
     }
 
+    /// Drain the physical extents the pool reclaimed since the last call
+    /// (see [`PhysicalPool::take_reclaimed`]). Every mutation that can
+    /// free extents — delete, unmap, COW redirect, relocate, snapshot
+    /// delete, rollback — feeds this; the storage layer above discards
+    /// the reclaimed media bytes before the extents can be reused.
+    pub fn take_reclaimed(&mut self) -> Vec<u64> {
+        self.pool.take_reclaimed()
+    }
+
     /// Structured trace of DMSD mapping transitions (disabled by default).
     /// The time-aware orchestrator calls `trace_mut().set_now(..)` before
     /// driving writes, since the volume manager itself is untimed.

@@ -11,6 +11,10 @@ pub struct PhysicalPool {
     refs: Vec<u32>,
     free: Vec<u64>,
     used: u64,
+    /// Extents whose refcount hit zero since the last [`Self::take_reclaimed`]
+    /// drain — the controller above must discard their media bytes before
+    /// any reuse can surface a previous owner's data.
+    reclaimed: Vec<u64>,
 }
 
 /// Pool exhaustion.
@@ -37,6 +41,7 @@ impl PhysicalPool {
             // LIFO free list, seeded in reverse so allocation walks upward.
             free: (0..total_extents).rev().collect(),
             used: 0,
+            reclaimed: Vec::new(),
         }
     }
 
@@ -105,11 +110,20 @@ impl PhysicalPool {
             *r -= 1;
             if *r == 0 {
                 self.free.push(e);
+                self.reclaimed.push(e);
                 self.used -= 1;
                 freed += 1;
             }
         }
         freed
+    }
+
+    /// Drain the extents reclaimed (refcount → zero) since the last call.
+    /// The caller owns the data-plane consequence: a reclaimed extent's
+    /// media bytes must be discarded before the extent is reused, or a
+    /// later tenant reads the previous owner's (stale) bytes.
+    pub fn take_reclaimed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.reclaimed)
     }
 
     pub fn refcount(&self, extent: u64) -> u32 {
@@ -178,6 +192,22 @@ mod tests {
         assert_eq!(p.used_extents(), 4);
         assert_eq!(p.release(s, l), l, "snapshot delete reclaims");
         assert_eq!(p.used_extents(), 0);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn reclaimed_extents_are_reported_exactly_once() {
+        let mut p = PhysicalPool::new(10, 1 << 20);
+        let runs = p.allocate(4).unwrap();
+        let (s, l) = runs[0];
+        // Sharing means a release that frees nothing reclaims nothing.
+        p.add_ref(s, 2);
+        p.release(s, 2);
+        assert_eq!(p.take_reclaimed(), Vec::<u64>::new());
+        // The refcount-zero releases surface, once each, in free order.
+        p.release(s, l);
+        assert_eq!(p.take_reclaimed(), (s..s + l).collect::<Vec<_>>());
+        assert_eq!(p.take_reclaimed(), Vec::<u64>::new(), "drain is destructive");
         p.check().unwrap();
     }
 

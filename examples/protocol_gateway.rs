@@ -47,18 +47,23 @@ fn main() {
     println!("control plane: created {vol:?} through the fortified ring ({} audit entries)", plane.audit.len());
 
     // --- The SAN path: a host speaks SCSI frames to the block target ---
-    let mut target = BlockTarget::new(2);
+    // Fail-closed zoning: the host port and the disk-side bridge port must
+    // both be zoned before a single data frame flows.
+    let mut target = BlockTarget::new(2, 8);
+    target.mask.set_zone(0, PortZone::HostSide);
+    target.mask.set_zone(8, PortZone::DiskSide);
     let host = InitiatorId(1);
     target.mask.grant(host, vol);
     let mut t = SimTime::ZERO;
     for lba in (0..8192u64).step_by(2048) {
         let frame = block::encode(&BlockCmd::Write { lun: vol.0, lba, sectors: 2048 });
-        let reply = target.handle(&mut ns.clusters[0], host, 0, t, frame);
+        let reply = target.handle(&mut ns.clusters[0], host, 0, 0, t, frame);
         t = reply.done;
     }
     let r = target.handle(
         &mut ns.clusters[0],
         host,
+        0,
         0,
         t,
         block::encode(&BlockCmd::Read { lun: vol.0, lba: 0, sectors: 2048 }),
@@ -76,6 +81,7 @@ fn main() {
         &mut ns.clusters[0],
         InitiatorId(66),
         0,
+        0,
         t,
         block::encode(&BlockCmd::Read { lun: vol.0, lba: 0, sectors: 8 }),
     );
@@ -83,7 +89,12 @@ fn main() {
 
     // --- The NAS path: another host speaks the file protocol ---
     let mut nas = FileServer::new(SiteId(0));
-    let send = |nas: &mut FileServer, ns: &mut NetStorage, t: SimTime, op: &FileOp| nas.handle(ns, 0, t, file::encode(op));
+    nas.mask.set_zone(0, PortZone::HostSide);
+    let nas_client = InitiatorId(2);
+    nas.mask.grant(nas_client, FileServer::NAMESPACE_VOL);
+    let send = |nas: &mut FileServer, ns: &mut NetStorage, t: SimTime, op: &FileOp| {
+        nas.handle(ns, InitiatorId(2), 0, 0, t, file::encode(op))
+    };
     send(&mut nas, &mut ns, t, &FileOp::Mkdir { path: "/shared".into() });
     let ino = match send(&mut nas, &mut ns, t, &FileOp::Create { path: "/shared/results.csv".into() }) {
         FileReply::Ino { ino, .. } => ino,

@@ -59,6 +59,24 @@ if ! cmp -s "$tmpdir/sweep1.txt" "$tmpdir/sweep4.txt"; then
 fi
 echo "    sweep reports byte-identical across --jobs 1/4"
 
+# Security pillar: the §5 enforcement stack must hold end to end. The two
+# checkpointed scenarios fail loudly (non-zero exit) if any cross-tenant
+# frame succeeds, a denial goes unaudited, media bytes are plaintext, or
+# hardware-assist crypt falls more than 5% off wire speed — and the model
+# checker exhausts the mask/zone/cipher state space (saturates at depth 7).
+echo "==> ys-report secure-tenants + wire-speed-crypt (E2/E11 checkpoints)"
+cargo run -q -p ys-obs --bin ys-report -- secure-tenants > "$tmpdir/e2.txt"
+cargo run -q -p ys-obs --bin ys-report -- wire-speed-crypt > "$tmpdir/e11.txt"
+if grep -q "FAIL" "$tmpdir/e2.txt" "$tmpdir/e11.txt"; then
+    echo "FAIL: a security scenario checkpoint failed" >&2
+    grep "FAIL" "$tmpdir/e2.txt" "$tmpdir/e11.txt" >&2
+    exit 1
+fi
+echo "    all E2/E11 checkpoints passed"
+
+echo "==> ys-check --security --depth 7 (exhaustive §5 enforcement model)"
+cargo run -q -p ys-check --release -- --security --depth 7
+
 # Perf-trajectory drift gate: regenerating the benchmark snapshot must
 # reproduce BENCH_baseline.json exactly, ignoring host wall-clock lines.
 echo "==> cargo xtask bench-snapshot --check (sim metrics vs BENCH_baseline.json)"
