@@ -17,6 +17,65 @@ use crate::lru::{LruList, Retention};
 use std::collections::BTreeMap;
 use ys_simcore::SpanRecorder;
 
+/// Lifecycle state of one controller blade (§2.1's scale-by-adding-blades
+/// plus §6.1's repair-after-failure). Blades move
+/// `Up → Draining → Down → Rejoining → Up`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum BladeState {
+    /// Full participant.
+    Up,
+    /// Planned shutdown in progress: keeps serving what it holds but
+    /// accepts no new data while [`CacheCluster::drain_blade`] evacuates it.
+    Draining,
+    /// Failed or shut down: holds nothing, serves nothing.
+    Down,
+    /// Admitted (back) into the cluster and taking new data, but counted
+    /// as transitional until the healer converges and promotes it to `Up`.
+    Rejoining,
+}
+
+impl std::fmt::Display for BladeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BladeState::Up => "up",
+            BladeState::Draining => "draining",
+            BladeState::Down => "down",
+            BladeState::Rejoining => "rejoining",
+        })
+    }
+}
+
+/// Cluster health derived from surviving replica margins (the degraded-mode
+/// governor's input). Ordered by severity: `Healthy < Degraded < Critical <
+/// ReadOnly`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Health {
+    /// Every protected page is at its fault-tolerance target and every
+    /// blade is a full participant.
+    Healthy,
+    /// Redundancy below target somewhere (heal backlog outstanding) or a
+    /// blade is mid-drain/rejoin — one more planned step from healthy.
+    Degraded,
+    /// Some acknowledged write's replica margin is exhausted: a protected
+    /// dirty page has zero surviving replicas, so the next owner failure
+    /// loses it.
+    Critical,
+    /// Fewer than two blades can accept data: no write can be protected at
+    /// all, so governed writes are refused rather than silently accepted.
+    ReadOnly,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Critical => "critical",
+            Health::ReadOnly => "read-only",
+        })
+    }
+}
+
 /// Why a page occupies a blade's cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Residency {
@@ -40,12 +99,22 @@ pub(crate) struct BladeSlot {
     /// Ordered so that blade-failure sweeps (and the FailureReport they
     /// build) visit pages in key order, independent of any hasher seed.
     pub(crate) pages: BTreeMap<PageKey, PageMeta>,
-    pub(crate) up: bool,
+    pub(crate) state: BladeState,
 }
 
 impl BladeSlot {
     fn occupancy(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Can serve the copies it holds (everything but `Down`).
+    pub(crate) fn serving(&self) -> bool {
+        self.state != BladeState::Down
+    }
+
+    /// Eligible to receive new data (fills, write replicas, heal targets).
+    fn accepting(&self) -> bool {
+        matches!(self.state, BladeState::Up | BladeState::Rejoining)
     }
 }
 
@@ -80,6 +149,46 @@ pub struct FailureReport {
     pub lost: Vec<PageKey>,
 }
 
+/// Result of a planned blade drain ([`CacheCluster::drain_blade`]).
+/// Unlike a failure, a drain never loses an acknowledged write: every
+/// dirty page is promoted or moved before the blade goes down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Dirty pages whose ownership transferred to an existing replica
+    /// (free hand-off; the protection margin shrinks by one until healed).
+    pub promoted: Vec<PageKey>,
+    /// Dirty pages copied to a fresh owner (no replica existed).
+    pub moved: Vec<PageKey>,
+    /// Pinned replicas re-placed on another accepting blade.
+    pub replicas_moved: Vec<PageKey>,
+    /// Pinned replicas dropped for later healing (no eligible peer had
+    /// room; the owner still holds the dirty data, so nothing is lost).
+    pub replicas_dropped: Vec<PageKey>,
+    /// Clean shared copies discarded (disk still holds the data).
+    pub clean_dropped: u64,
+    /// Whether the blade reached `Down`. `false` means a dirty page had no
+    /// eligible peer: the blade stays `Draining` and the caller should free
+    /// space (destage) and call [`CacheCluster::drain_blade`] again.
+    pub completed: bool,
+}
+
+impl DrainReport {
+    /// Fold a retried drain pass into an accumulated report.
+    pub fn merge(&mut self, other: DrainReport) {
+        self.promoted.extend(other.promoted);
+        self.moved.extend(other.moved);
+        self.replicas_moved.extend(other.replicas_moved);
+        self.replicas_dropped.extend(other.replicas_dropped);
+        self.clean_dropped += other.clean_dropped;
+        self.completed = other.completed;
+    }
+
+    /// Dirty pages evacuated (promoted + moved) — the zero-loss workload.
+    pub fn evacuated(&self) -> usize {
+        self.promoted.len() + self.moved.len()
+    }
+}
+
 /// Read-only snapshot of one resident page (see
 /// [`CacheCluster::resident_pages`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +213,8 @@ pub struct CacheStats {
     pub evictions: u64,
     pub destages: u64,
     pub replica_placements: u64,
+    /// Replicas re-established by the healer ([`CacheCluster::add_replica`]).
+    pub heal_placements: u64,
     /// Indexed by blade id; sized by [`CacheCluster::new`].
     pub per_blade: Vec<BladeCacheStats>,
 }
@@ -134,6 +245,13 @@ pub enum CacheError {
     /// to serve until the loss is acknowledged or the page rewritten —
     /// surfacing the loss explicitly instead of a silent stale miss.
     DataLost(PageKey),
+    /// The degraded-mode governor refused the write: fewer than two blades
+    /// accept data, so no write can be replica-protected at all.
+    ReadOnly,
+    /// No accepting peer blade could take the copy (drain evacuation or
+    /// heal placement): every candidate is down, draining, or saturated
+    /// with dirty data. Transient — destage frees space.
+    NoEligiblePeer,
 }
 
 impl std::fmt::Display for CacheError {
@@ -143,6 +261,8 @@ impl std::fmt::Display for CacheError {
             CacheError::EvictionStall(b) => write!(f, "blade {b} cache saturated with dirty data"),
             CacheError::BadState => write!(f, "page in unexpected coherence state"),
             CacheError::DataLost(k) => write!(f, "page {k:?}: acknowledged write lost (owner and all replicas failed)"),
+            CacheError::ReadOnly => write!(f, "cluster is read-only: surviving replica margin exhausted"),
+            CacheError::NoEligiblePeer => write!(f, "no accepting peer blade can hold the copy"),
         }
     }
 }
@@ -186,7 +306,7 @@ impl CacheCluster {
                     capacity_pages: capacity_pages_per_blade,
                     lru: LruList::new(),
                     pages: BTreeMap::new(),
-                    up: true,
+                    state: BladeState::Up,
                 })
                 .collect(),
             directory: Directory::new(blade_count),
@@ -218,8 +338,15 @@ impl CacheCluster {
         &mut self.trace
     }
 
+    /// True while the blade can serve the copies it holds (anything but
+    /// `Down`; a draining blade still serves until evacuation completes).
     pub fn blade_up(&self, b: usize) -> bool {
-        self.blades.get(b).map(|s| s.up).unwrap_or(false)
+        self.blades.get(b).map(|s| s.serving()).unwrap_or(false)
+    }
+
+    /// Lifecycle state of blade `b` (out-of-range reads as `Down`).
+    pub fn blade_state(&self, b: usize) -> BladeState {
+        self.blades.get(b).map(|s| s.state).unwrap_or(BladeState::Down)
     }
 
     pub fn occupancy(&self, b: usize) -> usize {
@@ -229,7 +356,7 @@ impl CacheCluster {
     /// Pooled capacity across up blades, in pages (§2.2: "adding additional
     /// controller blades would increase the cache available to all").
     pub fn pooled_capacity(&self) -> usize {
-        self.blades.iter().filter(|b| b.up).map(|b| b.capacity_pages).sum()
+        self.blades.iter().filter(|b| b.serving()).map(|b| b.capacity_pages).sum()
     }
 
     pub fn directory(&self) -> &Directory {
@@ -315,7 +442,7 @@ impl CacheCluster {
         }
         // Find a remote holder.
         let holder = {
-            let up: Vec<bool> = self.blades.iter().map(|b| b.up).collect();
+            let up: Vec<bool> = self.blades.iter().map(|b| b.serving()).collect();
             match self.directory.get(&key) {
                 Some(e) => e.holders().into_iter().find(|&h| up[h] && h != blade),
                 None => None,
@@ -425,6 +552,7 @@ impl CacheCluster {
             e.sharers.clear();
             e.owner = Some(blade);
             e.replicas.clear();
+            e.protect = n_way;
             e.version
         };
         self.blades[blade].pages.insert(
@@ -443,7 +571,7 @@ impl CacheCluster {
                 let start = key.home(n);
                 (0..n)
                     .map(|i| (start + i) % n)
-                    .filter(|&b| b != blade && self.blades[b].up)
+                    .filter(|&b| b != blade && self.blades[b].accepting())
                     .collect()
             };
             for target in candidates.into_iter().take(n_way - 1) {
@@ -487,6 +615,7 @@ impl CacheCluster {
         let e = self.directory.entry(key);
         e.replicas.clear();
         e.owner = None;
+        e.protect = 0;
         if !e.sharers.contains(&owner) {
             e.sharers.push(owner);
         }
@@ -531,7 +660,7 @@ impl CacheCluster {
         let undestaged: usize = self
             .blades
             .iter()
-            .filter(|b| b.up)
+            .filter(|b| b.serving())
             .map(|b| {
                 b.pages
                     .values()
@@ -560,10 +689,10 @@ impl CacheCluster {
     /// replica lives on an up blade (promoted to owner); otherwise lost.
     pub fn fail_blade(&mut self, blade: usize) -> FailureReport {
         let mut report = FailureReport::default();
-        if !self.blades[blade].up {
+        if self.blades[blade].state == BladeState::Down {
             return report;
         }
-        self.blades[blade].up = false;
+        self.blades[blade].state = BladeState::Down;
         let held: Vec<(PageKey, PageMeta)> =
             std::mem::take(&mut self.blades[blade].pages).into_iter().collect();
         self.blades[blade].lru = LruList::new();
@@ -620,7 +749,286 @@ impl CacheCluster {
 
     /// Bring a failed blade back, empty.
     pub fn repair_blade(&mut self, blade: usize) {
-        self.blades[blade].up = true;
+        self.blades[blade].state = BladeState::Up;
+    }
+
+    /// Admit a previously failed blade back into the cluster, empty, in
+    /// `Rejoining` state: it accepts new data immediately but is only
+    /// promoted to `Up` once the healer converges
+    /// ([`CacheCluster::finish_rejoin`]).
+    pub fn revive_blade(&mut self, blade: usize) -> Result<(), CacheError> {
+        match self.blades.get_mut(blade) {
+            Some(slot) if slot.state == BladeState::Down => {
+                slot.state = BladeState::Rejoining;
+                self.trace.instant("cache", "revive", blade as u32, 0, 0);
+                Ok(())
+            }
+            Some(_) => Err(CacheError::BadState),
+            None => Err(CacheError::BladeDown(blade)),
+        }
+    }
+
+    /// Promote a `Rejoining` blade to full `Up` membership (the healer calls
+    /// this once no page is below its fault-tolerance target). Returns
+    /// whether a transition happened.
+    pub fn finish_rejoin(&mut self, blade: usize) -> bool {
+        match self.blades.get_mut(blade) {
+            Some(slot) if slot.state == BladeState::Rejoining => {
+                slot.state = BladeState::Up;
+                self.trace.instant("cache", "rejoin_done", blade as u32, 0, 0);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Grow the cluster by one brand-new blade (§2.1's scale-by-adding-
+    /// blades): it joins in `Rejoining` state, folds into directory home
+    /// placement, and starts taking fills and replicas immediately.
+    /// Returns the new blade's id.
+    pub fn add_blade(&mut self, capacity_pages: usize) -> usize {
+        self.blades.push(BladeSlot {
+            capacity_pages,
+            lru: LruList::new(),
+            pages: BTreeMap::new(),
+            state: BladeState::Rejoining,
+        });
+        let id = self.directory.add_blade();
+        self.stats.per_blade.push(BladeCacheStats::default());
+        self.trace.instant("cache", "add_blade", id as u32, 0, 0);
+        id
+    }
+
+    /// Planned shutdown: evacuate every copy `blade` holds, with zero loss
+    /// of acknowledged writes, then take it `Down`.
+    ///
+    /// Dirty owner pages hand off to an existing replica (promote) or are
+    /// copied to a fresh accepting peer (move); pinned replicas are
+    /// re-placed where possible and otherwise recorded for the healer;
+    /// clean shared copies are simply dropped (disk has the data). If a
+    /// dirty page has no eligible peer the blade stays `Draining` and the
+    /// returned report has `completed == false` — the caller should free
+    /// space (destage) and call again.
+    pub fn drain_blade(&mut self, blade: usize) -> Result<DrainReport, CacheError> {
+        if self.blades[blade].state == BladeState::Down {
+            return Err(CacheError::BladeDown(blade));
+        }
+        self.blades[blade].state = BladeState::Draining;
+        let mut report = DrainReport::default();
+        let keys: Vec<PageKey> = self.blades[blade].pages.keys().copied().collect();
+        for key in keys {
+            let meta = match self.blades[blade].pages.get(&key) {
+                Some(m) => m.clone(),
+                None => continue,
+            };
+            match meta.residency {
+                Residency::Cached { dirty: true, .. } => {
+                    let promote_to =
+                        self.directory.get(&key).and_then(|e| e.replicas.first().copied());
+                    if let Some(survivor) = promote_to {
+                        // Free hand-off: an up-to-date replica becomes owner
+                        // (same transition as fail_blade's promote path).
+                        let (version, retention) = {
+                            let e = self.directory.entry(key);
+                            e.owner = Some(survivor);
+                            e.replicas.retain(|&r| r != survivor);
+                            (e.version, meta.retention)
+                        };
+                        self.blades[survivor].pages.insert(
+                            key,
+                            PageMeta {
+                                residency: Residency::Cached { state: PageState::Modified, dirty: true },
+                                retention,
+                                version,
+                            },
+                        );
+                        self.blades[survivor].lru.insert(key, retention);
+                        self.trace.instant("cache", "drain_promote", survivor as u32, key.page, blade as u64);
+                        report.promoted.push(key);
+                    } else {
+                        // No replica: the dirty data must be copied out.
+                        let n = self.blades.len();
+                        let start = key.home(n);
+                        let candidates: Vec<usize> = (0..n)
+                            .map(|i| (start + i) % n)
+                            .filter(|&b| b != blade && self.blades[b].accepting())
+                            .collect();
+                        let mut new_owner = None;
+                        for target in candidates {
+                            // An existing clean sharer copy upgrades in place
+                            // (a replica is impossible here: replicas imply
+                            // the promote path above).
+                            if self.blades[target].pages.contains_key(&key) {
+                                new_owner = Some(target);
+                                break;
+                            }
+                            if self.blades[target].occupancy() >= self.blades[target].capacity_pages
+                                && self.make_room(target).is_err()
+                            {
+                                continue;
+                            }
+                            new_owner = Some(target);
+                            break;
+                        }
+                        let target = match new_owner {
+                            Some(t) => t,
+                            None => {
+                                // Nowhere to put an acknowledged write: stay
+                                // Draining rather than lose it.
+                                report.completed = false;
+                                return Ok(report);
+                            }
+                        };
+                        let (version, retention) = {
+                            let e = self.directory.entry(key);
+                            e.sharers.retain(|&s| s != target);
+                            e.owner = Some(target);
+                            (e.version, meta.retention)
+                        };
+                        self.blades[target].pages.insert(
+                            key,
+                            PageMeta {
+                                residency: Residency::Cached { state: PageState::Modified, dirty: true },
+                                retention,
+                                version,
+                            },
+                        );
+                        self.blades[target].lru.insert(key, retention);
+                        self.trace.instant("cache", "drain_move", target as u32, key.page, blade as u64);
+                        report.moved.push(key);
+                    }
+                    self.blades[blade].pages.remove(&key);
+                    self.blades[blade].lru.remove(&key);
+                }
+                Residency::Cached { dirty: false, .. } => {
+                    self.blades[blade].pages.remove(&key);
+                    self.blades[blade].lru.remove(&key);
+                    self.detach_holder(key, blade);
+                    report.clean_dropped += 1;
+                }
+                Residency::Replica => {
+                    self.blades[blade].pages.remove(&key);
+                    self.blades[blade].lru.remove(&key);
+                    self.directory.entry(key).replicas.retain(|&r| r != blade);
+                    // Re-place elsewhere when possible; otherwise the owner
+                    // still holds the dirty data and the healer catches up.
+                    match self.add_replica(key) {
+                        Ok(_) => report.replicas_moved.push(key),
+                        Err(_) => report.replicas_dropped.push(key),
+                    }
+                }
+            }
+        }
+        debug_assert!(self.blades[blade].pages.is_empty());
+        self.blades[blade].state = BladeState::Down;
+        self.blades[blade].lru = LruList::new();
+        report.completed = true;
+        self.trace.instant("cache", "drain_done", blade as u32, report.evacuated() as u64, report.clean_dropped);
+        Ok(report)
+    }
+
+    /// Dirty pages below their fault-tolerance target, with the deficit
+    /// (missing replica count) — the healer's work queue. Sorted by key.
+    pub fn under_target_pages(&self) -> Vec<(PageKey, usize)> {
+        self.directory
+            .iter()
+            .filter(|(_, e)| e.owner.is_some() && e.protect > 1 + e.replicas.len())
+            .map(|(k, e)| (*k, e.protect - 1 - e.replicas.len()))
+            .collect()
+    }
+
+    /// Re-establish one pinned dirty replica for `key` on an accepting peer
+    /// (the healer's unit of work). Returns the blade that took the copy.
+    pub fn add_replica(&mut self, key: PageKey) -> Result<usize, CacheError> {
+        let owner = match self.directory.get(&key) {
+            Some(e) => match e.owner {
+                Some(o) => o,
+                None => return Err(CacheError::BadState),
+            },
+            None => return Err(CacheError::BadState),
+        };
+        let version = match self.directory.get(&key) {
+            Some(e) => e.version,
+            None => return Err(CacheError::BadState),
+        };
+        let retention = self.blades[owner]
+            .pages
+            .get(&key)
+            .map(|m| m.retention)
+            .unwrap_or(Retention::Normal);
+        let n = self.blades.len();
+        let start = key.home(n);
+        let candidates: Vec<usize> = (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&b| {
+                b != owner && self.blades[b].accepting() && !self.blades[b].pages.contains_key(&key)
+            })
+            .collect();
+        for target in candidates {
+            if self.blades[target].occupancy() >= self.blades[target].capacity_pages
+                && self.make_room(target).is_err()
+            {
+                continue;
+            }
+            self.blades[target].pages.insert(
+                key,
+                PageMeta { residency: Residency::Replica, retention, version },
+            );
+            self.blades[target].lru.insert(key, Retention::Pinned);
+            self.directory.entry(key).replicas.push(target);
+            self.stats.replica_placements += 1;
+            self.stats.heal_placements += 1;
+            self.stats.per_blade[target].replicas_hosted += 1;
+            self.trace.instant("cache", "replica_heal", target as u32, key.page, version);
+            return Ok(target);
+        }
+        Err(CacheError::NoEligiblePeer)
+    }
+
+    /// Cluster health from surviving replica margins — the degraded-mode
+    /// governor's input (severity-ordered; see [`Health`]).
+    pub fn health(&self) -> Health {
+        let accepting = self.blades.iter().filter(|b| b.accepting()).count();
+        if accepting < 2 {
+            return Health::ReadOnly;
+        }
+        let mut degraded = self
+            .blades
+            .iter()
+            .any(|b| matches!(b.state, BladeState::Draining | BladeState::Rejoining));
+        for (_, e) in self.directory.iter() {
+            if e.owner.is_some() && e.protect > 1 + e.replicas.len() {
+                if e.replicas.is_empty() && e.protect >= 2 {
+                    // An acked protected write with zero surviving replicas:
+                    // the next owner failure loses it.
+                    return Health::Critical;
+                }
+                degraded = true;
+            }
+        }
+        if degraded {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// Write under the degraded-mode governor: refused with an explicit
+    /// error (and audit trace event) when the cluster is [`Health::ReadOnly`]
+    /// — better to fail the write than to accept data one more failure
+    /// would silently lose.
+    pub fn governed_write(
+        &mut self,
+        blade: usize,
+        key: PageKey,
+        n_way: usize,
+        retention: Retention,
+    ) -> Result<WriteOutcome, CacheError> {
+        if self.health() == Health::ReadOnly {
+            self.trace.instant("cache", "write_refused", blade as u32, key.page, key.volume as u64);
+            return Err(CacheError::ReadOnly);
+        }
+        self.write(blade, key, n_way, retention)
     }
 
     /// Outstanding data-loss tombstones: `(page, lost version)` sorted by
@@ -900,6 +1308,160 @@ mod tests {
         c.read(1, key(1)).unwrap(); // remote
         let s = c.stats();
         assert_eq!((s.misses, s.local_hits, s.remote_hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn drain_evacuates_dirty_pages_with_zero_loss() {
+        let mut c = CacheCluster::new(4, 16);
+        // One 2-way page (will promote) and one unreplicated page (will move).
+        c.write(0, key(7), 2, Retention::Normal).unwrap();
+        c.write(0, key(8), 1, Retention::Normal).unwrap();
+        c.fill(0, key(9), Retention::Normal).unwrap();
+        let report = c.drain_blade(0).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.promoted, vec![key(7)]);
+        assert_eq!(report.moved, vec![key(8)]);
+        assert_eq!(report.clean_dropped, 1);
+        assert!(c.lost_pages().is_empty(), "drain must never lose an acked write");
+        assert_eq!(c.blade_state(0), BladeState::Down);
+        assert_eq!(c.occupancy(0), 0);
+        // Both dirty pages still readable from their new homes.
+        assert!(c.read(1, key(7)).is_ok());
+        assert!(c.read(1, key(8)).is_ok());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_replaces_hosted_replicas() {
+        let mut c = CacheCluster::new(4, 16);
+        let w = c.write(0, key(3), 2, Retention::Normal).unwrap();
+        let replica_blade = w.replicas[0];
+        let report = c.drain_blade(replica_blade).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.replicas_moved, vec![key(3)]);
+        // Protection margin intact: still one replica, on a different blade.
+        let e = c.directory().get(&key(3)).unwrap();
+        assert_eq!(e.replicas.len(), 1);
+        assert_ne!(e.replicas[0], replica_blade);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn incomplete_drain_stays_draining_and_retries_after_destage() {
+        // 2 blades, tiny caches, peer saturated with dirty data: the dirty
+        // page on blade 0 has nowhere to go.
+        let mut c = CacheCluster::new(2, 2);
+        c.write(1, key(1), 1, Retention::Normal).unwrap();
+        c.write(1, key(2), 1, Retention::Normal).unwrap();
+        c.write(0, key(3), 1, Retention::Normal).unwrap();
+        let report = c.drain_blade(0).unwrap();
+        assert!(!report.completed);
+        assert_eq!(c.blade_state(0), BladeState::Draining);
+        assert!(c.lost_pages().is_empty());
+        // Destage frees the peer; the retried drain completes.
+        c.destage(key(1)).unwrap();
+        let report = c.drain_blade(0).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.moved, vec![key(3)]);
+        assert!(c.lost_pages().is_empty());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn revive_and_finish_rejoin_lifecycle() {
+        let mut c = CacheCluster::new(3, 8);
+        assert_eq!(c.blade_state(1), BladeState::Up);
+        assert_eq!(c.revive_blade(1), Err(CacheError::BadState), "can't revive an up blade");
+        c.fail_blade(1);
+        assert_eq!(c.blade_state(1), BladeState::Down);
+        c.revive_blade(1).unwrap();
+        assert_eq!(c.blade_state(1), BladeState::Rejoining);
+        assert!(c.blade_up(1), "rejoining blades serve");
+        assert!(c.finish_rejoin(1));
+        assert_eq!(c.blade_state(1), BladeState::Up);
+        assert!(!c.finish_rejoin(1), "no-op on an already-up blade");
+    }
+
+    #[test]
+    fn add_blade_grows_pool_and_takes_heal_replicas() {
+        let mut c = CacheCluster::new(2, 8);
+        c.write(0, key(5), 2, Retention::Normal).unwrap();
+        // Kill the replica holder: page under target, nowhere to heal to.
+        c.fail_blade(1);
+        assert_eq!(c.under_target_pages(), vec![(key(5), 1)]);
+        assert_eq!(c.add_replica(key(5)), Err(CacheError::NoEligiblePeer));
+        // A new blade joins and takes the healed replica.
+        let b = c.add_blade(8);
+        assert_eq!(b, 2);
+        assert_eq!(c.blade_count(), 3);
+        assert_eq!(c.blade_state(b), BladeState::Rejoining);
+        assert_eq!(c.add_replica(key(5)), Ok(b));
+        assert!(c.under_target_pages().is_empty());
+        assert_eq!(c.stats().heal_placements, 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn health_transitions_and_heal_restores_margin() {
+        let mut c = CacheCluster::new(4, 16);
+        assert_eq!(c.health(), Health::Healthy);
+        let w = c.write(0, key(2), 3, Retention::Normal).unwrap();
+        assert_eq!(c.health(), Health::Healthy);
+        // Lose one replica: under target but a margin survives → Degraded.
+        c.fail_blade(w.replicas[0]);
+        assert_eq!(c.health(), Health::Degraded);
+        // Lose the other: zero surviving replicas → Critical.
+        c.fail_blade(w.replicas[1]);
+        assert_eq!(c.health(), Health::Critical);
+        // Heal back to target: one revived blade plus the untouched fourth
+        // blade give the healer two placement targets.
+        c.revive_blade(w.replicas[0]).unwrap();
+        c.add_replica(key(2)).unwrap();
+        assert_eq!(c.health(), Health::Degraded, "one deficit left + rejoining blade");
+        c.add_replica(key(2)).unwrap();
+        assert!(c.under_target_pages().is_empty());
+        assert_eq!(c.health(), Health::Degraded, "rejoining blade keeps it degraded");
+        c.revive_blade(w.replicas[1]).unwrap();
+        c.finish_rejoin(w.replicas[0]);
+        c.finish_rejoin(w.replicas[1]);
+        assert_eq!(c.health(), Health::Healthy);
+        // The restored margin is real: the owner can fail with zero loss.
+        let report = c.fail_blade(0);
+        assert!(report.lost.is_empty());
+        assert_eq!(report.promoted, vec![key(2)]);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn governor_refuses_writes_when_read_only() {
+        let mut c = CacheCluster::new(3, 8);
+        c.fail_blade(1);
+        assert_eq!(c.health(), Health::Healthy, "nothing was at risk: no deficit");
+        c.fail_blade(2);
+        assert_eq!(c.health(), Health::ReadOnly);
+        assert_eq!(
+            c.governed_write(0, key(1), 2, Retention::Normal),
+            Err(CacheError::ReadOnly)
+        );
+        // The ungoverned path still works (policy decision, not a mechanism
+        // limitation) and a revive lifts the refusal.
+        c.write(0, key(1), 2, Retention::Normal).unwrap();
+        c.revive_blade(1).unwrap();
+        assert!(c.governed_write(0, key(2), 2, Retention::Normal).is_ok());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn destage_clears_protection_target() {
+        let mut c = CacheCluster::new(4, 16);
+        c.write(0, key(6), 3, Retention::Normal).unwrap();
+        assert_eq!(c.directory().get(&key(6)).unwrap().protect, 3);
+        c.destage(key(6)).unwrap();
+        assert_eq!(c.directory().get(&key(6)).unwrap().protect, 0);
+        // A destaged page is not heal work even after failures.
+        c.fail_blade(0);
+        assert!(c.under_target_pages().is_empty());
+        c.check_invariants().unwrap();
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct DirEntry {
     pub replicas: Vec<usize>,
     /// Monotonic write version; replicas carry the version they protect.
     pub version: u64,
+    /// Fault-tolerance target: total dirty copies (owner + replicas) the
+    /// last write asked for. Non-zero only while the page is dirty; the
+    /// healer re-replicates any page whose surviving copies fall below it
+    /// (after a promote, drain, or join). Cleared on destage — a page on
+    /// disk no longer needs in-cache protection.
+    pub protect: usize,
 }
 
 impl DirEntry {
@@ -81,6 +87,15 @@ impl Directory {
 
     pub fn blades(&self) -> usize {
         self.blades
+    }
+
+    /// Grow the directory by one home shard (a blade joined the cluster,
+    /// §2.1's scale-by-adding-blades). Future `home` hashes spread over the
+    /// wider cluster; existing entries stay where they are.
+    pub fn add_blade(&mut self) -> usize {
+        self.blades += 1;
+        self.shard_lookups.push(0);
+        self.blades - 1
     }
 
     pub fn entry(&mut self, key: PageKey) -> &mut DirEntry {

@@ -6,7 +6,7 @@
 //! the paper's claims: a single coherent pooled cache (§2.2), and dirty
 //! data that survives any N−1 blade failures when written N-way (§6.1).
 
-use crate::cluster::{CacheCluster, Residency};
+use crate::cluster::{BladeState, CacheCluster, Residency};
 use crate::directory::PageKey;
 use std::fmt;
 
@@ -304,7 +304,7 @@ fn audit_blades(cluster: &CacheCluster, out: &mut Vec<Violation>) {
                 format!("{} pages resident, capacity {}", slot.pages.len(), slot.capacity_pages),
             ));
         }
-        if !slot.up && !slot.pages.is_empty() {
+        if slot.state == BladeState::Down && !slot.pages.is_empty() {
             out.push(Violation::blade(
                 Invariant::DownBladeConsistency,
                 b,

@@ -21,8 +21,8 @@ pub mod invariants;
 pub mod lru;
 
 pub use cluster::{
-    BladeCacheStats, CacheCluster, CacheError, CacheStats, FailureReport, ReadOutcome, ResidentPage,
-    WriteOutcome,
+    BladeCacheStats, BladeState, CacheCluster, CacheError, CacheStats, DrainReport, FailureReport,
+    Health, ReadOutcome, ResidentPage, WriteOutcome,
 };
 pub use directory::{DirEntry, Directory, PageKey, PageState};
 pub use heat::HeatTracker;

@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use ys_core::{NetStorage, NetStorageConfig, Rebuilder};
 use ys_geo::SiteId;
+use ys_heal::{HealConfig, Healer};
 use ys_pfs::{FilePolicy, GeoPolicy, Ino};
 use ys_qos::{QosClass, QosConfig, TenantSpec};
 use ys_scrub::{ScrubConfig, ScrubTarget, Scrubber};
@@ -516,7 +517,104 @@ impl Campaign {
             }
             Injection::KillDirtyPage { site } => self.kill_dirty_page(site),
             Injection::CorruptPage { site, page } => self.corrupt_page(site, page),
+            Injection::BladeDrain { site, blade } => self.drain_blade(site, blade),
+            Injection::BladeRevive { site, blade } => self.revive_blade(site, blade),
         }
+    }
+
+    /// Planned online shutdown: evacuate the blade with zero loss of
+    /// acknowledged writes, then take it down. Any `DataLost` tombstone a
+    /// *drain* mints breaks the maintenance promise — unlike a crash, no
+    /// loss budget applies.
+    fn drain_blade(&mut self, site: usize, blade: usize) {
+        if site >= self.sites() || blade >= self.cfg.blades_per_site || self.down[site][blade] {
+            self.injections_skipped += 1;
+            return;
+        }
+        // Evacuated dirty pages need peers to land on: keep at least two
+        // other blades up (guards shrunk subsets that stacked faults).
+        if self.down[site].iter().filter(|&&d| !d).count() <= 2 {
+            self.injections_skipped += 1;
+            return;
+        }
+        self.shadows[site].refresh(&self.ns.clusters[site]);
+        let lost_before = self.ns.clusters[site].cache.lost_pages().len();
+        match self.ns.clusters[site].drain_blade(self.t, blade) {
+            Ok((_report, done)) => {
+                self.injections_fired += 1;
+                self.t = self.t.max(done);
+                let lost_after = self.ns.clusters[site].cache.lost_pages().len();
+                if lost_after > lost_before {
+                    self.violations.push(OracleViolation {
+                        rule: "drain-lost-write",
+                        step: self.step,
+                        site,
+                        detail: format!(
+                            "draining blade {blade} minted {} DataLost tombstone(s)",
+                            lost_after - lost_before
+                        ),
+                    });
+                }
+                self.down[site][blade] = true;
+                if let Some(rs) = self.rebuild.as_mut() {
+                    if rs.site == site {
+                        rs.r.fail_worker(blade);
+                    }
+                }
+            }
+            Err(_) => {
+                // No eligible peer even after forced destages (concurrent
+                // faults shrank the cluster): abort the drain and put the
+                // blade back in service — its pages are intact.
+                self.ns.clusters[site].repair_blade(blade);
+                self.injections_skipped += 1;
+            }
+        }
+        self.shadows[site].refresh(&self.ns.clusters[site]);
+        oracle::audit_site(site, self.step, &self.ns.clusters[site], &mut self.violations);
+    }
+
+    /// Rejoin a drained (or crashed) blade empty, then run the healer to
+    /// convergence. The healer's own stall budget is the converge budget
+    /// the oracle holds it to: with every blade back up, a stalled heal is
+    /// a broken promise, not bad luck.
+    fn revive_blade(&mut self, site: usize, blade: usize) {
+        if site >= self.sites() || blade >= self.cfg.blades_per_site || !self.down[site][blade] {
+            self.injections_skipped += 1;
+            return;
+        }
+        if self.ns.clusters[site].revive_blade(blade).is_err() {
+            self.injections_skipped += 1;
+            return;
+        }
+        self.injections_fired += 1;
+        self.down[site][blade] = false;
+        if let Some(rs) = self.rebuild.as_mut() {
+            if rs.site == site {
+                rs.r.add_worker(blade, self.t);
+            }
+        }
+        // Administrative heal pass (no QoS tenant); on convergence it
+        // promotes the Rejoining blade to full Up membership.
+        let mut healer = Healer::new(HealConfig::default());
+        match healer.run(&mut self.ns.clusters[site], self.t) {
+            Ok(done) => self.t = self.t.max(done),
+            Err(_) => self.ops_failed += 1,
+        }
+        let rep = healer.report();
+        if !rep.converged && !self.down[site].iter().any(|&d| d) {
+            self.violations.push(OracleViolation {
+                rule: "redundancy-not-restored",
+                step: self.step,
+                site,
+                detail: format!(
+                    "healer stalled with {} page(s) under target after blade {blade} rejoined",
+                    rep.stalled_pages
+                ),
+            });
+        }
+        self.shadows[site].refresh(&self.ns.clusters[site]);
+        oracle::audit_site(site, self.step, &self.ns.clusters[site], &mut self.violations);
     }
 
     fn corrupt_page(&mut self, site: usize, page: u64) {
@@ -1009,6 +1107,7 @@ impl Campaign {
             self.shadows[site].refresh(&self.ns.clusters[site]);
             oracle::audit_site(site, self.step, &self.ns.clusters[site], &mut self.violations);
             oracle::audit_qos(site, self.step, &self.ns.clusters[site], &mut self.violations);
+            oracle::audit_redundancy(site, self.step, &self.ns.clusters[site], &mut self.violations);
         }
         // Scrub every site and hold the integrity promise: each injected
         // latent error must now be repaired or explicitly declared lost.

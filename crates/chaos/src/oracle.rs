@@ -168,6 +168,29 @@ pub fn audit_site(site: usize, step: u64, cluster: &BladeCluster, out: &mut Vec<
     }
 }
 
+/// Converge-time redundancy rule: once every blade is restored and the
+/// destage backlog has drained, no page may still sit below its
+/// fault-tolerance target — the healer's converge budget has expired.
+pub fn audit_redundancy(
+    site: usize,
+    step: u64,
+    cluster: &BladeCluster,
+    out: &mut Vec<OracleViolation>,
+) {
+    let deficit = cluster.under_target_pages();
+    if !deficit.is_empty() {
+        out.push(OracleViolation {
+            rule: "redundancy-not-restored",
+            step,
+            site,
+            detail: format!(
+                "{} page(s) under fault-tolerance target after convergence",
+                deficit.len()
+            ),
+        });
+    }
+}
+
 /// QoS shed discipline: `Premium` is never shed; only the classes
 /// configured to absorb pressure (`Scavenger` sheds, `Standard` delays)
 /// may carry the degradation.

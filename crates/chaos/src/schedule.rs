@@ -87,6 +87,14 @@ pub enum Injection {
     /// the converge-time scrub must repair it or declare it lost — the
     /// oracle rejects silent residue.
     CorruptPage { site: usize, page: u64 },
+    /// Planned maintenance: drain a blade online (`Up → Draining → Down`).
+    /// Unlike a crash, a drain evacuates every copy first — the oracle
+    /// rejects any `DataLost` tombstone it mints.
+    BladeDrain { site: usize, blade: usize },
+    /// Rejoin a drained (or crashed) blade empty; the campaign runs the
+    /// `ys-heal` healer and the oracle demands redundancy restored within
+    /// the healer's bounded converge budget.
+    BladeRevive { site: usize, blade: usize },
 }
 
 /// A scheduled fault: original index (stable across shrinking), trigger,
@@ -138,7 +146,7 @@ impl CampaignSchedule {
         let mut partitions: Vec<(usize, usize)> = Vec::new();
         while step + 8 < step_span && entries.len() + 4 < cfg.max_injections {
             let site = rng.next_below(sites as u64) as usize;
-            match rng.next_below(4) {
+            match rng.next_below(5) {
                 0 if credit[site] > 0 => {
                     // Blade-crash episode: crash at an adversarial instant,
                     // repair, then stabilize before the budget resets.
@@ -206,6 +214,22 @@ impl CampaignSchedule {
                         index: 0,
                         trigger: Trigger::AtStep(heal_at),
                         injection: Injection::HealLink { a, b },
+                    });
+                }
+                3 => {
+                    // Lifecycle episode: planned online drain, then rejoin
+                    // a few steps later. Zero-loss evacuation and healed
+                    // redundancy are both oracle promises.
+                    let blade = rng.next_below(blades as u64) as usize;
+                    entries.push(ScheduledFault {
+                        index: 0,
+                        trigger: Trigger::AtStep(step),
+                        injection: Injection::BladeDrain { site, blade },
+                    });
+                    entries.push(ScheduledFault {
+                        index: 0,
+                        trigger: Trigger::AtStep(step + 2 + rng.next_below(4)),
+                        injection: Injection::BladeRevive { site, blade },
                     });
                 }
                 _ => {
@@ -345,6 +369,32 @@ mod tests {
                 .any(|e| matches!(e.injection, Injection::CorruptPage { .. }));
         }
         assert!(any, "no seed in 0..16 scheduled a latent error");
+    }
+
+    #[test]
+    fn drain_episodes_pair_with_later_revives() {
+        let mut seen = false;
+        for seed in 0..32 {
+            let cfg = CampaignConfig { seed, ..CampaignConfig::default() };
+            let s = CampaignSchedule::generate(&cfg);
+            for e in &s.entries {
+                if let Injection::BladeDrain { site, blade } = e.injection {
+                    seen = true;
+                    let drain_at = e.trigger.deadline();
+                    assert!(
+                        s.entries.iter().any(|r| {
+                            matches!(
+                                r.injection,
+                                Injection::BladeRevive { site: rs, blade: rb }
+                                    if rs == site && rb == blade
+                            ) && r.trigger.deadline() > drain_at
+                        }),
+                        "seed {seed}: drain of site {site} blade {blade} never revived"
+                    );
+                }
+            }
+        }
+        assert!(seen, "no seed in 0..32 scheduled a planned drain");
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   shadow ACL: no post-revoke access ever succeeds, no unzoned port is
 //!   admitted, every denial is audited, and no frame crosses a site
 //!   boundary as plaintext (`ys-security`).
+//! * blade lifecycle and graceful degradation — the directory's protection
+//!   targets vs an independent shadow map, `Healthy` never hiding an
+//!   under-target page, the governor refusing writes exactly at `ReadOnly`
+//!   health, and planned drains never minting a `DataLost` tombstone
+//!   (`ys-heal`).
 //!
 //! States deduplicate by a canonical 128-bit hash that normalizes unbounded
 //! counters (absolute write versions hash as ranks), so the explored space
@@ -33,6 +38,7 @@ pub mod cache_model;
 pub mod explore;
 pub mod failover_model;
 pub mod hash;
+pub mod heal_model;
 pub mod integrity_model;
 pub mod qos_model;
 pub mod security_model;
@@ -43,6 +49,7 @@ pub use cache_model::{render_trace, CacheModel, Op, Scope};
 pub use explore::{explore, explore_timed, Counterexample, Exploration, Limits, Model, SearchOrder};
 pub use failover_model::{render_failover_trace, FailoverModel, FailoverOp, FailoverScope};
 pub use hash::StateHasher;
+pub use heal_model::{render_heal_trace, HealModel, HealOp, HealScope};
 pub use integrity_model::{render_integrity_trace, IntegrityModel, IntegrityOp, IntegrityScope};
 pub use qos_model::{render_qos_trace, QosModel, QosOp, QosScope};
 pub use security_model::{render_security_trace, SecurityModel, SecurityOp, SecurityScope};

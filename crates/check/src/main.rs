@@ -13,10 +13,11 @@
 
 use std::process::ExitCode;
 use ys_check::{
-    explore_timed, render_failover_trace, render_integrity_trace, render_qos_trace,
-    render_security_trace, render_trace, render_virt_trace, CacheModel, Exploration, FailoverModel,
-    FailoverScope, IntegrityModel, IntegrityScope, Limits, QosModel, QosScope, Scope, SearchOrder,
-    SecurityModel, SecurityScope, VirtModel, VirtScope,
+    explore_timed, render_failover_trace, render_heal_trace, render_integrity_trace,
+    render_qos_trace, render_security_trace, render_trace, render_virt_trace, CacheModel,
+    Exploration, FailoverModel, FailoverScope, HealModel, HealScope, IntegrityModel,
+    IntegrityScope, Limits, QosModel, QosScope, Scope, SearchOrder, SecurityModel, SecurityScope,
+    VirtModel, VirtScope,
 };
 
 /// Wall-clock reader injected into [`explore_timed`]. The library stays
@@ -39,6 +40,7 @@ struct Args {
     failover: bool,
     integrity: bool,
     security: bool,
+    heal: bool,
 }
 
 impl Default for Args {
@@ -56,6 +58,7 @@ impl Default for Args {
             failover: false,
             integrity: false,
             security: false,
+            heal: false,
         }
     }
 }
@@ -78,6 +81,7 @@ OPTIONS:
   --failover       check the §6.1 crash/promote/destage failover protocol
   --integrity      check the checksum / scrub repair-or-declare protocol
   --security       check LUN masking / zoning / wire-cipher enforcement
+  --heal           check the blade lifecycle / re-replication protocol
   -h, --help       print this help
 ";
 
@@ -104,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
             "--failover" => args.failover = true,
             "--integrity" => args.integrity = true,
             "--security" => args.security = true,
+            "--heal" => args.heal = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -134,7 +139,27 @@ fn main() -> ExitCode {
     };
     let limits = Limits { max_depth: args.depth, max_states: args.max_states };
 
-    if args.security {
+    if args.heal {
+        let scope = HealScope {
+            blades: args.blades,
+            pages: args.pages.min(2),
+            n_way: args.n_way,
+            capacity_pages: args.capacity,
+        };
+        let result = explore_timed(HealModel::new(scope), limits, args.order, wall_timer());
+        report(
+            &format!(
+                "heal model, {} blades × {} pages, {}-way writes, depth {}",
+                scope.blades, scope.pages, scope.n_way, args.depth
+            ),
+            &result,
+        );
+        if let Some(cx) = &result.counterexample {
+            println!("\nCOUNTEREXAMPLE ({} ops):", cx.trace.len());
+            println!("{}", render_heal_trace(&cx.trace, scope, &cx.violations));
+            return ExitCode::from(1);
+        }
+    } else if args.security {
         let scope = SecurityScope::small();
         let result = explore_timed(SecurityModel::new(scope), limits, args.order, wall_timer());
         report(

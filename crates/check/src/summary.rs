@@ -2,7 +2,7 @@
 //! CLI and the `ys-sweep` parallel harness.
 //!
 //! [`render_summary`] formats an [`Exploration`] exactly as the CLI prints
-//! it; [`run_standard`] runs one of the six named standard models at a
+//! it; [`run_standard`] runs one of the seven named standard models at a
 //! given depth and returns both the rendered block and the headline
 //! counters, so a sweep shard and a serial CLI run produce identical
 //! bytes. Library callers get `elapsed 0.00s` (the library reads no
@@ -11,14 +11,16 @@
 use crate::cache_model::{render_trace, CacheModel, Scope};
 use crate::explore::{explore, Exploration, Limits, SearchOrder};
 use crate::failover_model::{render_failover_trace, FailoverModel, FailoverScope};
+use crate::heal_model::{render_heal_trace, HealModel, HealScope};
 use crate::integrity_model::{render_integrity_trace, IntegrityModel, IntegrityScope};
 use crate::qos_model::{render_qos_trace, QosModel, QosScope};
 use crate::security_model::{render_security_trace, SecurityModel, SecurityScope};
 use crate::virt_model::{render_virt_trace, VirtModel, VirtScope};
 use std::fmt::Write as _;
 
-/// The six standard model names, in canonical report order.
-pub const STANDARD_MODELS: &[&str] = &["cache", "virt", "qos", "failover", "integrity", "security"];
+/// The seven standard model names, in canonical report order.
+pub const STANDARD_MODELS: &[&str] =
+    &["cache", "virt", "qos", "failover", "integrity", "security", "heal"];
 
 /// Format one exploration result as the CLI's summary block.
 pub fn render_summary<Op: std::fmt::Debug>(what: &str, r: &Exploration<Op>) -> String {
@@ -76,8 +78,8 @@ fn finish<Op: std::fmt::Debug>(
 }
 
 /// Run one named standard model (`"cache"`, `"virt"`, `"qos"`,
-/// `"failover"`, `"integrity"`, `"security"`) breadth-first at `depth`,
-/// bounded by `max_states`.
+/// `"failover"`, `"integrity"`, `"security"`, `"heal"`) breadth-first at
+/// `depth`, bounded by `max_states`.
 ///
 /// Scopes are the acceptance scopes the CLI defaults to, so a shard run by
 /// `ys-sweep` renders the same bytes as `ys-check` itself.
@@ -143,6 +145,15 @@ pub fn run_standard(model: &str, depth: usize, max_states: usize) -> Result<Stan
             Ok(finish(&what, r, |cx| {
                 render_security_trace(&cx.trace, scope, &cx.violations)
             }))
+        }
+        "heal" => {
+            let scope = HealScope::small();
+            let r = explore(HealModel::new(scope), limits, SearchOrder::Bfs);
+            let what = format!(
+                "heal model, {} blades × {} pages, {}-way writes, depth {depth}",
+                scope.blades, scope.pages, scope.n_way
+            );
+            Ok(finish(&what, r, |cx| render_heal_trace(&cx.trace, scope, &cx.violations)))
         }
         other => Err(format!("unknown standard model `{other}` (try {STANDARD_MODELS:?})")),
     }

@@ -11,7 +11,7 @@
 use crate::config::{ClusterConfig, LoadBalance};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use ys_cache::{CacheCluster, CacheError, PageKey, ReadOutcome, Retention};
+use ys_cache::{CacheCluster, CacheError, DrainReport, Health, PageKey, ReadOutcome, Retention};
 use ys_raid::{Geometry, IoPlan};
 use ys_simcore::stats::{LatencyHisto, RateMeter};
 use ys_simcore::time::{SimDuration, SimTime};
@@ -68,6 +68,10 @@ pub enum ClusterError {
     /// propagates — same discipline as `DataLost` tombstones: the caller
     /// sees an explicit error until a scrub repairs (or declares) the page.
     Integrity { disk: DiskId, offset: u64 },
+    /// The degraded-mode governor refused the write: the surviving replica
+    /// margin is exhausted, so accepting data would risk silent loss on the
+    /// next failure (`ys-heal`).
+    ReadOnly,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -83,6 +87,9 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::Integrity { disk, offset } => {
                 write!(f, "integrity: checksum mismatch on disk {} at offset {offset}", disk.0)
+            }
+            ClusterError::ReadOnly => {
+                write!(f, "governor: cluster read-only — replica margin exhausted, write refused")
             }
         }
     }
@@ -142,6 +149,15 @@ pub struct ClusterStats {
     /// Disk-sourced pages whose media bytes were deciphered and verified
     /// against the expected plaintext on the way back up.
     pub pages_deciphered: u64,
+    /// Replicas re-established by the healer (`ys-heal`).
+    pub heal_replicas_placed: u64,
+    /// Writes refused by the degraded-mode governor at `ReadOnly` health.
+    pub writes_refused_readonly: u64,
+    /// Governed writes acknowledged with fewer dirty copies than requested
+    /// (peers saturated or down — audited, never silent).
+    pub writes_downgraded: u64,
+    /// Dirty pages evacuated with zero loss by planned blade drains.
+    pub pages_evacuated: u64,
 }
 
 /// One RAID group inside the cluster: a geometry over a contiguous range
@@ -1004,6 +1020,14 @@ impl BladeCluster {
         self.groups[tgi].volumes.trace_mut().set_now(now);
         let pb = self.cfg.page_bytes;
         let blade = self.pick_blade(vol, offset / pb)?;
+        // Degraded-mode governor: refuse writes outright when no replica
+        // protection is possible, instead of accepting data one more
+        // failure would silently lose.
+        if self.cfg.health_governor && self.cache.health() == Health::ReadOnly {
+            self.stats.writes_refused_readonly += 1;
+            self.cache.trace_mut().instant("heal", "write_refused", blade as u32, offset / pb, vol.0 as u64);
+            return Err(ClusterError::ReadOnly);
+        }
         // Data travels client → blade (with in-transit decryption charge on
         // arrival if transit encryption is on).
         let mut t = self
@@ -1029,6 +1053,13 @@ impl BladeCluster {
                     Err(e) => return Err(ClusterError::Cache(e)),
                 }
             };
+            // Governed writes that land below their requested protection
+            // level are a policy downgrade: audit it explicitly.
+            if self.cfg.health_governor && outcome.replicas.len() + 1 < copies {
+                self.stats.writes_downgraded += 1;
+                let missing = (copies - 1 - outcome.replicas.len()) as u64;
+                self.cache.trace_mut().instant("heal", "write_downgraded", blade as u32, key.page, missing);
+            }
             let cpu_done = self.cpus[blade].transfer(t_cache, pb.min(len)).arrival;
             // N-way replication to peer caches before ack (§6.1).
             let mut repl_done = cpu_done;
@@ -1108,6 +1139,90 @@ impl BladeCluster {
 
     pub fn repair_blade(&mut self, blade: usize) {
         self.cache.repair_blade(blade);
+    }
+
+    /// Planned blade shutdown (`Up → Draining → Down`): evacuate every copy
+    /// with zero loss of acknowledged writes, forcing pending destages to
+    /// free peer space whenever the drain stalls. Returns the cache-level
+    /// report and the time the evacuation copies complete on the blade
+    /// fabric.
+    pub fn drain_blade(
+        &mut self,
+        now: SimTime,
+        blade: usize,
+    ) -> Result<(DrainReport, SimTime), ClusterError> {
+        self.advance(now);
+        self.cache.trace_mut().set_now(now);
+        let mut report = DrainReport::default();
+        let mut t = now;
+        loop {
+            let pass = self.cache.drain_blade(blade).map_err(ClusterError::Cache)?;
+            let completed = pass.completed;
+            report.merge(pass);
+            if completed {
+                break;
+            }
+            // A dirty page had no eligible peer: free space by applying the
+            // earliest pending destage, then retry the drain.
+            t = self
+                .force_one_destage(t)
+                .ok_or(ClusterError::Cache(CacheError::NoEligiblePeer))?;
+        }
+        // Charge the evacuation traffic: every moved owner copy and every
+        // re-placed replica is one page over the blade-to-blade fabric.
+        let pb = self.cfg.page_bytes;
+        let mut done = t;
+        for &key in &report.moved {
+            if let Some(owner) = self.cache.directory().get(&key).and_then(|e| e.owner) {
+                done = done.max(self.cluster_fabric.send(t, blade, owner, pb).arrival);
+            }
+        }
+        for &key in &report.replicas_moved {
+            // add_replica appends: the re-placed copy is the last replica.
+            let dest = self.cache.directory().get(&key).and_then(|e| e.replicas.last().copied());
+            if let Some(dest) = dest {
+                done = done.max(self.cluster_fabric.send(t, blade, dest, pb).arrival);
+            }
+        }
+        self.stats.pages_evacuated += report.evacuated() as u64;
+        Ok((report, done))
+    }
+
+    /// Admit a failed/shut-down blade back, empty and `Rejoining`; the
+    /// healer promotes it to `Up` once redundancy converges.
+    pub fn revive_blade(&mut self, blade: usize) -> Result<(), ClusterError> {
+        self.cache.revive_blade(blade).map_err(ClusterError::Cache)
+    }
+
+    /// Promote a `Rejoining` blade to `Up` (healer convergence).
+    pub fn finish_rejoin(&mut self, blade: usize) -> bool {
+        self.cache.finish_rejoin(blade)
+    }
+
+    /// Cluster health from surviving replica margins (`ys-heal` governor).
+    pub fn health(&self) -> Health {
+        self.cache.health()
+    }
+
+    /// Dirty pages below their fault-tolerance target — the healer's queue.
+    pub fn under_target_pages(&self) -> Vec<(PageKey, usize)> {
+        self.cache.under_target_pages()
+    }
+
+    /// Re-establish one replica for an under-protected page (the healer's
+    /// unit of work): place the copy, charge the owner → target page
+    /// transfer on the blade fabric, return `(target, done)`.
+    pub fn heal_page(&mut self, now: SimTime, key: PageKey) -> Result<(usize, SimTime), ClusterError> {
+        self.advance(now);
+        self.cache.trace_mut().set_now(now);
+        let owner = match self.cache.directory().get(&key).and_then(|e| e.owner) {
+            Some(o) => o,
+            None => return Err(ClusterError::Cache(CacheError::BadState)),
+        };
+        let target = self.cache.add_replica(key).map_err(ClusterError::Cache)?;
+        self.stats.heal_replicas_placed += 1;
+        let done = self.cluster_fabric.send(now, owner, target, self.cfg.page_bytes).arrival;
+        Ok((target, done))
     }
 
     /// Fail a disk; RAID keeps serving in degraded mode.
@@ -1714,6 +1829,107 @@ mod tests {
         assert_eq!(c.pool_used_extents(), 0);
         c.write(SimTime::ZERO, 0, vol, 0, 4096, 1, Retention::Normal).unwrap();
         assert_eq!(c.pool_used_extents(), 1);
+    }
+
+    #[test]
+    fn drain_blade_evacuates_and_heal_restores_margin() {
+        let (mut c, vol) = small();
+        let mut t = SimTime::ZERO;
+        for i in 0..12u64 {
+            let w = c.write(t, 0, vol, i * 64 * 1024, 64 * 1024, 2, Retention::Normal).unwrap();
+            t = w.done;
+        }
+        // Planned shutdown of a blade: zero loss.
+        let (report, done) = c.drain_blade(t, 0).unwrap();
+        assert!(report.completed);
+        assert!(c.cache.lost_pages().is_empty(), "drain must never lose an acked write");
+        assert!(done >= t);
+        t = done;
+        // Heal whatever the drain left under target, then rejoin the blade.
+        c.revive_blade(0).unwrap();
+        let mut guard = 0;
+        while let Some(&(key, _)) = c.under_target_pages().first() {
+            let (_, d) = c.heal_page(t, key).unwrap();
+            t = t.max(d);
+            guard += 1;
+            assert!(guard < 1000, "healer must converge");
+        }
+        assert!(c.finish_rejoin(0));
+        assert_eq!(c.health(), Health::Healthy);
+        // The restored margin is real: any single blade failure now loses
+        // nothing, including the blades that absorbed the evacuation.
+        for b in 0..4 {
+            let mut probe = BladeCluster::new(ClusterConfig::default().with_blades(4).with_disks(8));
+            let pvol = probe.create_volume("t", 0, 1 << 30).unwrap();
+            let mut pt = SimTime::ZERO;
+            for i in 0..12u64 {
+                let w = probe.write(pt, 0, pvol, i * 64 * 1024, 64 * 1024, 2, Retention::Normal).unwrap();
+                pt = w.done;
+            }
+            let (_, pd) = probe.drain_blade(pt, 0).unwrap();
+            probe.revive_blade(0).unwrap();
+            let mut ht = pd;
+            while let Some(&(key, _)) = probe.under_target_pages().first() {
+                let (_, d) = probe.heal_page(ht, key).unwrap();
+                ht = ht.max(d);
+            }
+            probe.finish_rejoin(0);
+            let rep = probe.fail_blade(ht, b);
+            assert!(rep.lost.is_empty(), "healed cluster must survive failing blade {b}");
+        }
+    }
+
+    #[test]
+    fn governor_refuses_writes_at_read_only() {
+        let cfg = ClusterConfig::default().with_blades(3).with_disks(8).with_health_governor();
+        let mut c = BladeCluster::new(cfg);
+        let vol = c.create_volume("t", 0, 1 << 30).unwrap();
+        let w = c.write(SimTime::ZERO, 0, vol, 0, 64 * 1024, 2, Retention::Normal).unwrap();
+        let mut t = w.done;
+        c.fail_blade(t, 1);
+        c.fail_blade(t, 2);
+        // One accepting blade left: no write can be protected → refused.
+        let err = c.write(t, 0, vol, 64 * 1024, 64 * 1024, 2, Retention::Normal);
+        assert!(matches!(err, Err(ClusterError::ReadOnly)), "{err:?}");
+        assert_eq!(c.stats.writes_refused_readonly, 1);
+        // Revive lifts the refusal; the downgrade (1 replica instead of
+        // landing on a full peer set) is audited, not silent.
+        c.revive_blade(1).unwrap();
+        let w2 = c.write(t, 0, vol, 64 * 1024, 64 * 1024, 3, Retention::Normal).unwrap();
+        t = w2.done;
+        assert_eq!(c.stats.writes_downgraded, 1, "3-way asked, 2 blades accepting");
+        let _ = t;
+    }
+
+    #[test]
+    fn fail_heal_fail_loses_nothing_within_margin() {
+        let (mut c, vol) = small();
+        let mut t = SimTime::ZERO;
+        for i in 0..10u64 {
+            let w = c.write(t, 0, vol, i * 64 * 1024, 64 * 1024, 2, Retention::Normal).unwrap();
+            t = w.done;
+        }
+        let r1 = c.fail_blade(t, 0);
+        assert!(r1.lost.is_empty());
+        // Without healing, failing a promoted owner would lose data. Heal
+        // first: every promoted page gets a fresh replica.
+        let mut guard = 0;
+        while let Some(&(key, _)) = c.under_target_pages().first() {
+            let (_, d) = c.heal_page(t, key).unwrap();
+            t = t.max(d);
+            guard += 1;
+            assert!(guard < 1000, "healer must converge");
+        }
+        // Now fail each survivor in turn (fresh promoted owners included):
+        // the healed margin absorbs one more failure with zero loss.
+        let victim = r1
+            .promoted
+            .first()
+            .and_then(|k| c.cache.directory().get(k).and_then(|e| e.owner));
+        if let Some(victim) = victim {
+            let r2 = c.fail_blade(t, victim);
+            assert!(r2.lost.is_empty(), "healed margin must absorb the second failure");
+        }
     }
 }
 

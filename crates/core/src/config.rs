@@ -115,6 +115,11 @@ pub struct ClusterConfig {
     /// from it (the §5.1 key hierarchy). The seed only matters when
     /// `encryption` turns a cipher stage on.
     pub master_key_seed: u64,
+    /// Degraded-mode governor (`ys-heal`): when on, writes are refused with
+    /// [`crate::ClusterError::ReadOnly`] once the surviving replica margin
+    /// is exhausted, and replica-count downgrades are audited. Off by
+    /// default — the data path is bit-identical to pre-heal builds.
+    pub health_governor: bool,
 }
 
 impl Default for ClusterConfig {
@@ -138,6 +143,7 @@ impl Default for ClusterConfig {
             remote_cache_supply: true,
             qos: ys_qos::QosConfig::disabled(),
             master_key_seed: 0x59_53_4B_45_59,
+            health_governor: false,
         }
     }
 }
@@ -197,6 +203,13 @@ impl ClusterConfig {
     /// Set the cluster master key seed (per-volume keys derive from it).
     pub fn with_master_seed(mut self, seed: u64) -> ClusterConfig {
         self.master_key_seed = seed;
+        self
+    }
+
+    /// Enable the degraded-mode governor (write refusal at `ReadOnly`
+    /// health, downgrade auditing — see `ys-heal`).
+    pub fn with_health_governor(mut self) -> ClusterConfig {
+        self.health_governor = true;
         self
     }
 

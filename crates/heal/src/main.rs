@@ -1,0 +1,94 @@
+//! `ys-heal` — run the seeded fail → heal → fail-again campaign.
+//!
+//! Exit codes: `0` zero acked writes lost and every audit passed, `1` the
+//! audit failed, `2` usage.
+
+use std::process::ExitCode;
+use ys_heal::{run_campaign, CampaignConfig};
+
+const USAGE: &str = "\
+ys-heal: blade-lifecycle and re-replication campaign
+
+USAGE:
+    ys-heal [--seed N] [--writes N] [--quiet] [--double-run]
+
+OPTIONS:
+    --seed N      Victim-selection and working-set seed (default 0).
+    --writes N    Foreground pages written before the first failure
+                  (default 48).
+    --quiet       Only the verdict line.
+    --double-run  Run the identical campaign twice in one process and
+                  fail unless the transcripts are byte-identical.
+    -h, --help    This help.
+
+The campaign fails a seeded blade, heals back to the fault-tolerance
+target under Scavenger-class QoS, fails the promoted owner (the direct
+test that healing restored the margin), rolling-drains and rejoins every
+blade under foreground load, reads back every acknowledged write, and
+demands the degraded-mode governor refuse writes at ReadOnly health.";
+
+struct Args {
+    cfg: CampaignConfig,
+    quiet: bool,
+    double_run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { cfg: CampaignConfig::default(), quiet: false, double_run: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.cfg.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--writes" => {
+                let v = it.next().ok_or("--writes needs a value")?;
+                args.cfg.writes = v.parse().map_err(|_| format!("bad --writes {v}"))?;
+            }
+            "--quiet" => args.quiet = true,
+            "--double-run" => args.double_run = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("ys-heal: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run_campaign(&args.cfg);
+    if !args.quiet {
+        print!("{report}");
+    }
+
+    let mut deterministic = true;
+    if args.double_run {
+        let second = run_campaign(&args.cfg);
+        deterministic = second.lines == report.lines;
+        if deterministic {
+            println!("ys-heal: double-run transcripts byte-identical");
+        } else {
+            println!("ys-heal: DOUBLE-RUN MISMATCH — campaign replay determinism is broken");
+        }
+    }
+
+    let ok = report.ok && deterministic;
+    println!("ys-heal: seed {} {}", args.cfg.seed, if ok { "PASS" } else { "FAIL" });
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -23,12 +23,13 @@ use crate::lexer::{lex, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose library code must fail with typed errors, never panics.
-pub const PANIC_CRATES: &[&str] = &["cache", "virt", "simcore", "qos", "chaos", "scrub", "security"];
+pub const PANIC_CRATES: &[&str] =
+    &["cache", "virt", "simcore", "qos", "chaos", "scrub", "security", "heal"];
 
 /// Crates whose state feeds seeded replay: iterating a hashed container
 /// there lets the process-random hasher seed reorder events between runs.
 pub const REPLAY_CRATES: &[&str] =
-    &["cache", "chaos", "core", "geo", "qos", "raid", "scrub", "security", "simcore"];
+    &["cache", "chaos", "core", "geo", "heal", "qos", "raid", "scrub", "security", "simcore"];
 
 /// Tooling crates allowed to touch ambient entropy (thread pools, etc.).
 pub const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench", "check", "lint", "sweep", "xtask"];

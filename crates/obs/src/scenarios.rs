@@ -30,6 +30,7 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ("rebuild", "distributed RAID rebuild scales with worker blades (§2.4, §6.3)"),
     ("georep", "sync vs async geographic replication and the async loss window (§7)"),
     ("noisy-neighbor", "ys-qos admission control isolates a premium tenant from a scavenger flood"),
+    ("rolling-restart", "ys-heal rolling maintenance: drain + rejoin every blade under premium load with zero loss, bounded p99 impact, and health returning to Healthy"),
     ("bitrot-scrub", "ys-scrub background pass repairs latent rot under foreground load inside the Scavenger isolation bound"),
     ("crash-nway", "ys-chaos campaign: blade crashes at adversarial instants recover clean; a deliberate N-failure shrinks to a replayable counterexample (§6.1)"),
     ("partition-heal", "ys-chaos campaign: WAN trunks cut mid-geo-ship heal gapless — the async backlog drains with no prefix gap (§7)"),
@@ -46,6 +47,7 @@ pub fn run(name: &str) -> Option<RunReport> {
         "rebuild" => Some(rebuild()),
         "georep" => Some(georep()),
         "noisy-neighbor" => Some(noisy_neighbor()),
+        "rolling-restart" => Some(rolling_restart()),
         "bitrot-scrub" => Some(bitrot_scrub()),
         "crash-nway" => Some(crash_nway()),
         "partition-heal" => Some(partition_heal()),
@@ -573,6 +575,192 @@ fn noisy_neighbor() -> RunReport {
     RunReport {
         scenario: "noisy-neighbor",
         tables: vec![table, adm],
+        checkpoints,
+        registry: reg,
+        events: Vec::new(),
+        dropped: 0,
+    }
+}
+
+/// `ys-heal` rolling maintenance: drain and rejoin every blade in turn
+/// while a premium tenant keeps reading its 2-way-dirty working set, with
+/// the Scavenger-class healer restoring redundancy after each rejoin.
+/// Planned maintenance must lose nothing, keep the foreground p99 within
+/// 1.5x its solo envelope, and end with the cluster back at `Healthy`.
+fn rolling_restart() -> RunReport {
+    use ys_heal::{HealConfig, Healer};
+    use ys_qos::{QosClass, QosConfig, TenantSpec};
+    use ys_simcore::time::SimDuration;
+
+    const IO: u64 = 64 * 1024; // one cache page per op
+    const SET_PAGES: u64 = 48; // 3 MiB working set, written 2-way
+    const OPS_PER_PHASE: u64 = 120;
+    const FG: u32 = 1;
+    const HEALER: u32 = 9;
+    const BLADES: usize = 4;
+    let gap = SimDuration::from_millis(2);
+
+    let policy = || {
+        QosConfig::new()
+            .with_tenant(
+                TenantSpec::new(FG, "foreground", QosClass::Premium)
+                    .weight(4)
+                    .latency_budget(SimDuration::from_millis(2)),
+            )
+            .with_tenant(
+                TenantSpec::new(HEALER, "healer", QosClass::Scavenger)
+                    .rate_mb_per_sec(50)
+                    .burst_bytes(1 << 20)
+                    .inflight_cap(4),
+            )
+            .with_max_delay(SimDuration::from_millis(5))
+    };
+
+    // One experiment: seed the dirty working set, then run BLADES phases of
+    // open-loop premium reads. When `rolling`, each phase starts by
+    // draining one blade, rejoining it, and healing back to target.
+    struct PhaseRow {
+        blade: usize,
+        evacuated: usize,
+        healed: u64,
+        converged: bool,
+        health: ys_cache::Health,
+    }
+    let drive = |rolling: bool| {
+        let cfg = ClusterConfig::default()
+            .with_blades(BLADES)
+            .with_disks(8)
+            .with_load_balance(LoadBalance::PageAffinity)
+            .with_qos(policy())
+            .with_health_governor();
+        let mut c = BladeCluster::new(cfg);
+        let vol = c.create_volume("fg", FG, 1 << 30).expect("volume");
+        let mut t = SimTime::ZERO;
+        for i in 0..SET_PAGES {
+            let w = c
+                .write_as(t, FG, 0, vol, i * IO, IO, 2, Retention::Normal)
+                .expect("seed write");
+            t = t.max(w.done);
+        }
+        let mut latencies = Vec::new();
+        let mut write_errors = 0u64;
+        let mut phases = Vec::new();
+        for blade in 0..BLADES {
+            if rolling {
+                let (rep, done) = c.drain_blade(t, blade).expect("planned drain");
+                t = t.max(done);
+                c.revive_blade(blade).expect("revive");
+                let mut h =
+                    Healer::new(HealConfig { tenant: Some(HEALER), ..HealConfig::default() });
+                t = t.max(h.run(&mut c, t).expect("heal pass"));
+                phases.push(PhaseRow {
+                    blade,
+                    evacuated: rep.evacuated(),
+                    healed: h.report().replicas_placed,
+                    converged: h.report().converged,
+                    health: c.health(),
+                });
+            }
+            // Open-loop premium writes keep the set dirty all the way
+            // through the restart; write-back acks at cache speed, so this
+            // latency isolates healer/QoS interference from cache warmth.
+            for i in 0..OPS_PER_PHASE {
+                let off = ((blade as u64 * OPS_PER_PHASE + i) % SET_PAGES) * IO;
+                match c.write_as(t + gap * i, FG, 0, vol, off, IO, 2, Retention::Normal) {
+                    Ok(w) => latencies.push(w.latency),
+                    Err(_) => write_errors += 1,
+                }
+            }
+            t += gap * OPS_PER_PHASE;
+        }
+        // Read back the whole acknowledged set: zero loss, end to end.
+        let mut read_errors = 0u64;
+        for i in 0..SET_PAGES {
+            match c.read_as(t, FG, 0, vol, i * IO, IO) {
+                Ok(rd) => t = t.max(rd.done),
+                Err(_) => read_errors += 1,
+            }
+        }
+        (c, latencies, write_errors + read_errors, phases)
+    };
+    let exact_p99 = |lat: &[ys_simcore::time::SimDuration]| {
+        let mut v = lat.to_vec();
+        v.sort();
+        v[((v.len() * 99) / 100).min(v.len() - 1)]
+    };
+
+    let (_, solo_lat, solo_errors, _) = drive(false);
+    let (c, roll_lat, roll_errors, phases) = drive(true);
+    let solo = exact_p99(&solo_lat);
+    let roll = exact_p99(&roll_lat);
+    let slowdown = roll.nanos() as f64 / solo.nanos() as f64;
+    let lost = c.cache.lost_pages().len();
+    let healed: u64 = phases.iter().map(|p| p.healed).sum();
+    let evacuated: usize = phases.iter().map(|p| p.evacuated).sum();
+    let all_converged = phases.iter().all(|p| p.converged);
+    let final_health = c.health();
+
+    let mut reg = MetricsRegistry::new();
+    collect_qos(&mut reg, c.qos());
+    reg.gauge(MetricKey::aggregate("heal", "fg_p99_solo_us"), solo.as_micros_f64());
+    reg.gauge(MetricKey::aggregate("heal", "fg_p99_rolling_us"), roll.as_micros_f64());
+    reg.gauge(MetricKey::aggregate("heal", "fg_slowdown_rolling"), slowdown);
+    reg.gauge(MetricKey::aggregate("heal", "replicas_healed"), healed as f64);
+    reg.gauge(MetricKey::aggregate("heal", "pages_evacuated"), evacuated as f64);
+
+    let mut table = Table::new(
+        "rolling restart, one blade at a time (48-page 2-way dirty set, premium writes throughout)",
+        &["blade", "evacuated", "healed replicas", "converged", "health after"],
+    );
+    for p in &phases {
+        table.row(vec![
+            p.blade.to_string(),
+            p.evacuated.to_string(),
+            p.healed.to_string(),
+            p.converged.to_string(),
+            format!("{:?}", p.health),
+        ]);
+    }
+    let mut lat_table = Table::new(
+        "foreground p99 write-ack latency (480 open-loop 64 KiB 2-way writes)",
+        &["run", "p99 µs", "vs solo"],
+    );
+    lat_table.row(vec!["solo".into(), f2(solo.as_micros_f64()), "1.00".into()]);
+    lat_table.row(vec!["rolling restart".into(), f2(roll.as_micros_f64()), f2(slowdown)]);
+
+    let checkpoints = vec![
+        Checkpoint {
+            claim: "planned maintenance loses no acknowledged write",
+            metric: "heal.lost_pages + failed ops".into(),
+            observed: format!("{lost} lost, {} vs {} failed ops", roll_errors, solo_errors),
+            target: "all 0".into(),
+            pass: lost == 0 && roll_errors == 0 && solo_errors == 0,
+        },
+        Checkpoint {
+            claim: "the QoS-governed healer keeps the foreground inside 1.5x its solo p99",
+            metric: "heal.fg_slowdown_rolling".into(),
+            observed: f2(slowdown),
+            target: "<= 1.5".into(),
+            pass: slowdown <= 1.5,
+        },
+        Checkpoint {
+            claim: "every rejoin heals back to target and the cluster ends Healthy",
+            metric: "heal.converged / health".into(),
+            observed: format!("{all_converged} / {final_health:?}"),
+            target: "true / Healthy".into(),
+            pass: all_converged && final_health == ys_cache::Health::Healthy,
+        },
+        Checkpoint {
+            claim: "the restart exercised real evacuation and re-replication",
+            metric: "heal.pages_evacuated / heal.replicas_healed".into(),
+            observed: format!("{evacuated} / {healed}"),
+            target: "both > 0".into(),
+            pass: evacuated > 0 && healed > 0,
+        },
+    ];
+    RunReport {
+        scenario: "rolling-restart",
+        tables: vec![table, lat_table],
         checkpoints,
         registry: reg,
         events: Vec::new(),

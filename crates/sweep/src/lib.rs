@@ -25,5 +25,5 @@ pub mod shard;
 pub mod snapshot;
 
 pub use pool::{default_threads, run_sweep};
-pub use shard::{bench_sweep, chaos_sweep, check_sweep, scrub_sweep, SweepOutcome};
+pub use shard::{bench_sweep, chaos_sweep, check_sweep, heal_sweep, scrub_sweep, SweepOutcome};
 pub use snapshot::{collect, diff, render, strip_host_lines, Scenario, SCHEMA};

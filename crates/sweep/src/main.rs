@@ -10,7 +10,8 @@
 
 use std::process::ExitCode;
 use ys_sweep::{
-    bench_sweep, chaos_sweep, check_sweep, default_threads, scrub_sweep, snapshot, SweepOutcome,
+    bench_sweep, chaos_sweep, check_sweep, default_threads, heal_sweep, scrub_sweep, snapshot,
+    SweepOutcome,
 };
 
 const USAGE: &str = "\
@@ -19,16 +20,18 @@ ys-sweep: parallel deterministic multi-seed runner
 USAGE:
     ys-sweep chaos [--seeds LIST] [--steps N] [--fatal] [--jobs N]
     ys-sweep scrub [--seeds LIST] [--errors N] [--jobs N]
+    ys-sweep heal [--seeds LIST] [--writes N] [--jobs N]
     ys-sweep check [--models a,b] [--depth N] [--max-states N] [--jobs N]
     ys-sweep bench [--seeds LIST] [--jobs N]
     ys-sweep snapshot [--out PATH] [--check] [--jobs N]
 
 OPTIONS:
     --seeds LIST    Comma list (1,2,7) or half-open range (1..9).
-                    Defaults: chaos 1..5, scrub 1..5, bench 1..9.
+                    Defaults: chaos 1..5, scrub 1..5, heal 1..5, bench 1..9.
     --steps N       Chaos workload steps per campaign (default 32).
     --fatal         Chaos campaigns expect (and shrink) an acked-write loss.
     --errors N      Latent errors per scrub campaign (default 64).
+    --writes N      Foreground writes per heal campaign (default 48).
     --models a,b    Standard models to check (default all five:
                     cache,virt,qos,failover,integrity).
     --depth N       Exploration depth for check shards (default 4).
@@ -70,6 +73,7 @@ struct Args {
     steps: u64,
     fatal: bool,
     errors: usize,
+    writes: usize,
     models: Vec<String>,
     depth: usize,
     max_states: usize,
@@ -81,7 +85,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let mode = match it.next() {
-        Some(m) if matches!(m.as_str(), "chaos" | "scrub" | "check" | "bench" | "snapshot") => m,
+        Some(m) if matches!(m.as_str(), "chaos" | "scrub" | "heal" | "check" | "bench" | "snapshot") => m,
         Some(m) if matches!(m.as_str(), "-h" | "--help") => return Err(String::new()),
         Some(m) => return Err(format!("unknown mode {m}")),
         None => return Err("missing mode".into()),
@@ -92,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         steps: 32,
         fatal: false,
         errors: 64,
+        writes: 48,
         models: ["cache", "virt", "qos", "failover", "integrity"].map(String::from).to_vec(),
         depth: 4,
         max_states: 2_000_000,
@@ -111,6 +116,10 @@ fn parse_args() -> Result<Args, String> {
             "--errors" => {
                 let v = val("--errors")?;
                 args.errors = v.parse().map_err(|_| format!("bad --errors {v}"))?;
+            }
+            "--writes" => {
+                let v = val("--writes")?;
+                args.writes = v.parse().map_err(|_| format!("bad --writes {v}"))?;
             }
             "--models" => {
                 args.models = val("--models")?.split(',').filter(|m| !m.is_empty()).map(String::from).collect();
@@ -185,6 +194,12 @@ fn main() -> ExitCode {
         "scrub" => {
             let seeds = args.seeds.clone().unwrap_or_else(|| (1..5).collect());
             let SweepOutcome { report, ok } = scrub_sweep(&seeds, args.errors, args.jobs);
+            print!("{report}");
+            ok
+        }
+        "heal" => {
+            let seeds = args.seeds.clone().unwrap_or_else(|| (1..5).collect());
+            let SweepOutcome { report, ok } = heal_sweep(&seeds, args.writes, args.jobs);
             print!("{report}");
             ok
         }

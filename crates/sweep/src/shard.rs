@@ -74,6 +74,33 @@ pub fn scrub_sweep(seeds: &[u64], errors: usize, jobs: usize) -> SweepOutcome {
     SweepOutcome { report, ok }
 }
 
+/// Fan one blade-lifecycle campaign per seed across `jobs` workers.
+///
+/// Each shard runs `ys_heal::run_campaign` for its seed and renders
+/// exactly what a serial `ys-heal --seed N` prints (transcript and
+/// verdict), so the merged report is byte-identical for every `--jobs`
+/// value.
+pub fn heal_sweep(seeds: &[u64], writes: usize, jobs: usize) -> SweepOutcome {
+    let runs = run_sweep(seeds.to_vec(), jobs, |&seed| {
+        ys_heal::run_campaign(&ys_heal::CampaignConfig { seed, writes })
+    });
+    let mut report = String::new();
+    let mut ok = true;
+    for (seed, run) in seeds.iter().zip(&runs) {
+        let _ = writeln!(report, "=== ys-heal seed {seed} ===");
+        let _ = write!(report, "{run}");
+        let _ = writeln!(report, "ys-heal: seed {seed} {}", if run.ok { "PASS" } else { "FAIL" });
+        ok &= run.ok;
+    }
+    let _ = writeln!(
+        report,
+        "ys-sweep: {} campaigns, {} failed",
+        seeds.len(),
+        runs.iter().filter(|r| !r.ok).count()
+    );
+    SweepOutcome { report, ok }
+}
+
 /// Fan the named standard model checks across `jobs` workers.
 ///
 /// Each shard runs one bounded exploration through
@@ -152,6 +179,16 @@ mod tests {
         assert_eq!(serial.report, parallel.report, "jobs count changed the merged report");
         assert!(serial.ok, "{}", serial.report);
         assert!(serial.report.contains("=== ys-scrub seed 2 ==="));
+    }
+
+    #[test]
+    fn heal_sweep_parallel_is_byte_identical_to_serial() {
+        let seeds = [1u64, 2, 3];
+        let serial = heal_sweep(&seeds, 32, 1);
+        let parallel = heal_sweep(&seeds, 32, 3);
+        assert_eq!(serial.report, parallel.report, "jobs count changed the merged report");
+        assert!(serial.ok, "{}", serial.report);
+        assert!(serial.report.contains("=== ys-heal seed 2 ==="));
     }
 
     #[test]

@@ -29,6 +29,12 @@ cargo run -q -p ys-chaos -- --seed 4 --steps 64 --double-run --quiet
 echo "==> ys-scrub latent-error campaign + in-process double-run (seed 4, 64 errors)"
 cargo run -q -p ys-scrub -- --seed 4 --errors 64 --double-run --quiet
 
+# Blade lifecycle: the seeded drain/fail/heal/rejoin campaign must lose
+# zero acknowledged writes through planned and unplanned membership churn,
+# refuse writes exactly at ReadOnly health, and replay byte-identically.
+echo "==> ys-heal lifecycle campaign + in-process double-run (seed 4)"
+cargo run -q -p ys-heal -- --seed 4 --double-run --quiet
+
 # Cross-process byte-identity: two separate invocations of the same seed
 # must print identical transcripts. The in-process double-run above already
 # catches per-instance hasher drift; this one also covers anything that
@@ -76,6 +82,9 @@ echo "    all E2/E11 checkpoints passed"
 
 echo "==> ys-check --security --depth 7 (exhaustive §5 enforcement model)"
 cargo run -q -p ys-check --release -- --security --depth 7
+
+echo "==> ys-check --heal --depth 7 (exhaustive blade-lifecycle model)"
+cargo run -q -p ys-check --release -- --heal --depth 7
 
 # Perf-trajectory drift gate: regenerating the benchmark snapshot must
 # reproduce BENCH_baseline.json exactly, ignoring host wall-clock lines.
